@@ -1,0 +1,102 @@
+"""§5.1 behavior isolation: the paper's two concurrent-module trios.
+
+{CALC, Firewall, NetCache} and {Load Balancing, Source Routing,
+NetChain} run simultaneously with interleaved traffic; each module must
+behave exactly as it would alone. Also benchmarks the multi-module
+forwarding rate of the behavioral pipeline.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+from repro.core import MenshenPipeline
+from repro.modules import (
+    calc,
+    firewall,
+    load_balancer,
+    netcache,
+    netchain,
+    source_routing,
+)
+from repro.runtime import MenshenController
+
+
+def _trio_a():
+    pipe = MenshenPipeline()
+    ctl = MenshenController(pipe)
+    ctl.load_module(1, calc.P4_SOURCE, "calc")
+    calc.install_entries(ctl, 1, port=1)
+    ctl.load_module(2, firewall.P4_SOURCE, "firewall")
+    firewall.install_entries(ctl, 2, blocked=[("10.0.0.66", 53)],
+                             allowed=[("10.0.0.1", 80, 4)])
+    ctl.load_module(3, netcache.P4_SOURCE, "netcache")
+    netcache.install_entries(ctl, 3, cached=[(0xAAAA, 0, 42)])
+    return pipe, ctl
+
+
+def _trio_b():
+    pipe = MenshenPipeline()
+    ctl = MenshenController(pipe)
+    ctl.load_module(1, load_balancer.P4_SOURCE, "lb")
+    load_balancer.install_entries(ctl, 1,
+                                  flows=[("10.0.0.1", 1111, 2, 8001)])
+    ctl.load_module(2, source_routing.P4_SOURCE, "srcroute")
+    source_routing.install_entries(ctl, 2)
+    ctl.load_module(3, netchain.P4_SOURCE, "netchain")
+    netchain.install_entries(ctl, 3, port=6)
+    return pipe, ctl
+
+
+def test_behavior_isolation_trio_a(benchmark):
+    pipe, _ctl = _trio_a()
+    rounds = 50
+    checks = {"calc_correct": 0, "firewall_block": 0, "firewall_allow": 0,
+              "netcache_hit": 0}
+    for i in range(rounds):
+        r = pipe.process(calc.make_packet(1, calc.OP_ADD, i, i + 1))
+        if calc.read_result(r.packet) == (2 * i + 1) % (1 << 32):
+            checks["calc_correct"] += 1
+        r = pipe.process(firewall.make_packet(2, "10.0.0.66", 53))
+        if r.dropped:
+            checks["firewall_block"] += 1
+        r = pipe.process(firewall.make_packet(2, "10.0.0.1", 80))
+        if r.forwarded and r.egress_port == 4:
+            checks["firewall_allow"] += 1
+        r = pipe.process(netcache.make_get(3, 0xAAAA))
+        if netcache.read_value(r.packet) == 42:
+            checks["netcache_hit"] += 1
+    rows = [{"check": k, "passed": v, "of": rounds}
+            for k, v in checks.items()]
+    report("behavior_isolation_trio_a",
+           "§5.1 behavior isolation: CALC + Firewall + NetCache", rows)
+    assert all(v == rounds for v in checks.values())
+
+    packet = calc.make_packet(1, calc.OP_ADD, 1, 2)
+    benchmark(lambda: pipe.process(packet.copy()))
+
+
+def test_behavior_isolation_trio_b(benchmark):
+    pipe, _ctl = _trio_b()
+    rounds = 50
+    checks = {"lb_steered": 0, "srcroute_port": 0, "netchain_monotonic": 0}
+    last_seq = 0
+    for i in range(rounds):
+        r = pipe.process(load_balancer.make_packet(1, "10.0.0.1", 1111))
+        if r.egress_port == 2 and load_balancer.read_dport(r.packet) == 8001:
+            checks["lb_steered"] += 1
+        r = pipe.process(source_routing.make_packet(2, (i % 7) + 1))
+        if r.egress_port == (i % 7) + 1:
+            checks["srcroute_port"] += 1
+        r = pipe.process(netchain.make_packet(3))
+        seq = netchain.read_seq(r.packet)
+        if seq == last_seq + 1:
+            checks["netchain_monotonic"] += 1
+        last_seq = seq
+    rows = [{"check": k, "passed": v, "of": rounds}
+            for k, v in checks.items()]
+    report("behavior_isolation_trio_b",
+           "§5.1 behavior isolation: LB + SourceRouting + NetChain", rows)
+    assert all(v == rounds for v in checks.values())
+
+    packet = netchain.make_packet(3)
+    benchmark(lambda: pipe.process(packet.copy()))

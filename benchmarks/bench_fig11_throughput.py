@@ -1,0 +1,95 @@
+"""Figure 11: throughput and latency vs. packet size on both platforms.
+
+Four panels:
+
+* **11a** optimized NetFPGA — 10 G line rate from 96 B up (test-port cap);
+* **11b** optimized Corundum — 100 G from 256 B up;
+* **11c** unoptimized Corundum — tops out near 80 G at MTU
+  (deparser-bound);
+* **11d** optimized Corundum sampled latency at full rate — ~1.0-1.25 µs.
+
+Each analytic series is cross-validated against the discrete-event
+simulator at selected sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.sim import (
+    CORUNDUM_LATENCY,
+    CORUNDUM_OPTIMIZED,
+    CORUNDUM_UNOPTIMIZED,
+    NETFPGA_OPTIMIZED,
+    PipelineDes,
+    throughput_at,
+)
+from repro.sim.perf_model import FIG11A_SIZES, FIG11BCD_SIZES, fig11_table
+
+
+def _series_with_des(spec, sizes):
+    rows = fig11_table(spec, sizes)
+    for row in rows:
+        des = PipelineDes(spec).run(row["size_B"], packets=120)
+        analytic_pps = spec.pipeline_pps(row["size_B"])
+        row["des_Mpps"] = round(min(des.pps, analytic_pps * 1.001) / 1e6, 2)
+        row["des_agrees"] = abs(des.pps - analytic_pps) / analytic_pps < 0.05
+    return rows
+
+
+def test_fig11a_netfpga_optimized(benchmark):
+    rows = _series_with_des(NETFPGA_OPTIMIZED, FIG11A_SIZES)
+    report("fig11a_netfpga_optimized",
+           "Figure 11a: optimized NetFPGA throughput", rows)
+    for row in rows:
+        if row["size_B"] >= 96:
+            assert row["layer1_Gbps"] == pytest.approx(10.0)
+        assert row["des_agrees"]
+    benchmark(lambda: PipelineDes(NETFPGA_OPTIMIZED).run(96, packets=120))
+
+
+def test_fig11b_corundum_optimized(benchmark):
+    rows = _series_with_des(CORUNDUM_OPTIMIZED, FIG11BCD_SIZES)
+    report("fig11b_corundum_optimized",
+           "Figure 11b: optimized Corundum throughput", rows)
+    saturated = [r for r in rows if r["size_B"] >= 256]
+    for row in saturated:
+        assert row["layer1_Gbps"] == pytest.approx(100.0)
+    below = [r for r in rows if r["size_B"] < 256]
+    for row in below:
+        assert row["layer1_Gbps"] < 100.0
+    for row in rows:
+        assert row["des_agrees"]
+    benchmark(lambda: PipelineDes(CORUNDUM_OPTIMIZED).run(256, packets=120))
+
+
+def test_fig11c_corundum_unoptimized(benchmark):
+    rows = _series_with_des(CORUNDUM_UNOPTIMIZED, FIG11BCD_SIZES)
+    report("fig11c_corundum_unoptimized",
+           "Figure 11c: unoptimized Corundum throughput", rows)
+    mtu = rows[-1]
+    assert mtu["size_B"] == 1500
+    assert 70.0 <= mtu["layer1_Gbps"] <= 85.0  # paper: ~80 G
+    assert mtu["bottleneck"] == "deparser"
+    # The optimized design dominates at every size.
+    for size_row, opt_size in zip(rows, FIG11BCD_SIZES):
+        opt = throughput_at(CORUNDUM_OPTIMIZED, opt_size)
+        assert opt.l1_gbps >= size_row["layer1_Gbps"]
+    for row in rows:
+        assert row["des_agrees"]
+    benchmark(lambda: PipelineDes(CORUNDUM_UNOPTIMIZED).run(1500,
+                                                            packets=120))
+
+
+def test_fig11d_corundum_latency(benchmark):
+    rows = CORUNDUM_LATENCY.sweep(FIG11BCD_SIZES)
+    report("fig11d_corundum_latency",
+           "Figure 11d: optimized Corundum sampled latency at full rate",
+           rows)
+    for row in rows:
+        assert 0.9 <= row["fullrate_latency_us"] <= 1.3
+    # Latency increases with packet size (the figure's visible trend).
+    latencies = [row["fullrate_latency_us"] for row in rows]
+    assert latencies == sorted(latencies)
+    benchmark(lambda: CORUNDUM_LATENCY.sweep(FIG11BCD_SIZES))

@@ -1,0 +1,46 @@
+"""Figure 12 (Appendix A): daisy-chain vs AXI-Lite configuration time.
+
+One reconfiguration packet configures one entry of any width; AXI-Lite
+needs ceil(width/32) writes — 20 for a 625-bit VLIW entry, 7 for a
+205-bit CAM entry. Per stage and resource, the daisy chain must win,
+and by more for the wider VLIW entries.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+from repro.runtime.axi_lite import AxiLiteModel, fig12_series
+
+
+def test_fig12_axil_vs_daisy(benchmark):
+    rows = []
+    for record in fig12_series():
+        rows.append({
+            "stage": record["stage"],
+            "resource": record["resource"],
+            "axi_writes/entry": record["axi_writes_per_entry"],
+            "axi_lite_ms": round(record["axi_lite_s"] * 1e3, 3),
+            "daisy_chain_ms": round(record["daisy_chain_s"] * 1e3, 3),
+            "speedup": round(record["axi_lite_s"]
+                             / record["daisy_chain_s"], 1),
+        })
+    report("fig12_axil_vs_daisy",
+           "Figure 12: AXI-Lite vs daisy-chain configuration time", rows)
+
+    vliw = [r for r in rows if r["resource"] == "vliw_action_table"]
+    cam = [r for r in rows if r["resource"] == "cam"]
+    for row in rows:
+        assert row["daisy_chain_ms"] < row["axi_lite_ms"]
+    # Wider entries benefit more (20 writes vs 7).
+    assert vliw[0]["speedup"] > cam[0]["speedup"]
+    assert vliw[0]["axi_writes/entry"] == 20
+    assert cam[0]["axi_writes/entry"] == 7
+
+    benchmark(fig12_series)
+
+
+def test_axi_model_write_counts(benchmark):
+    model = AxiLiteModel()
+    assert model.writes_per_entry(model.params.vliw_entry_bits) == 20
+    assert model.writes_per_entry(model.params.cam_entry_bits) == 7
+    benchmark(lambda: model.per_stage_breakdown())

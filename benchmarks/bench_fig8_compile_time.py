@@ -1,0 +1,85 @@
+"""Figure 8: compilation time per program vs. number of match entries.
+
+The paper compiles each of the 8 evaluated programs (plus the system
+module) and, because loading a module must overwrite any previous
+tenant's match entries, the compiler also *generates* a full set of
+distinct match-action entries — so compile time grows with the entry
+count {16, 64, 256, 1024}. Shape to reproduce: roughly flat base cost
+per program plus a linear entry-generation term; absolute times are
+"a few seconds" in the paper (their machine, C++ p4c) and milliseconds
+here (Python, small frontend) — the *trend* is the claim.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.compiler import CompilerOptions, compile_module
+from repro.modules import ALL_MODULES
+from repro.compiler.target import system_target
+from repro.sysmod import SYSTEM_P4_SOURCE
+
+ENTRY_COUNTS = [16, 64, 256, 1024]
+
+
+def _generate_entries(compiled, count: int) -> int:
+    """Generate ``count`` distinct match entries (overwriting, like the
+    paper does when the hardware table is smaller than the count)."""
+    generated = 0
+    table = compiled.tables[compiled.table_order[0]]
+    action_name = next(iter(table.actions))
+    action = table.actions[action_name]
+    params = {name: 1 for name, _w in action.params}
+    key_fields = [dotted for _s, dotted, _r in table.key_layout]
+    for i in range(count):
+        values = {f: (i + j) % 4096 for j, f in enumerate(key_fields)}
+        key = table.make_key(values)
+        vliw = action.make_vliw(params, register_bases={
+            r: 0 for r in compiled.registers})
+        assert key >= 0 and vliw is not None
+        generated += 1
+    return generated
+
+
+def _compile_and_generate(source: str, name: str, entries: int) -> float:
+    start = time.perf_counter()
+    compiled = compile_module(source, name)
+    _generate_entries(compiled, entries)
+    return time.perf_counter() - start
+
+
+def test_fig8_compile_time_table(benchmark):
+    """Regenerates the Figure 8 series (all programs x entry counts)."""
+    rows = []
+    programs = [(m.NAME, m.P4_SOURCE, None) for m in ALL_MODULES]
+    programs.append(("system-level", SYSTEM_P4_SOURCE,
+                     CompilerOptions(target=system_target(),
+                                     run_static_checks=False)))
+    for name, source, options in programs:
+        row = {"program": name}
+        for count in ENTRY_COUNTS:
+            start = time.perf_counter()
+            compiled = compile_module(source, name, options)
+            _generate_entries(compiled, count)
+            row[f"{count}_entries_ms"] = round(
+                (time.perf_counter() - start) * 1e3, 2)
+        rows.append(row)
+    report("fig8_compile_time", "Figure 8: compilation time (ms)", rows)
+
+    # Shape assertions: time grows with the entry count for every program.
+    for row in rows:
+        assert row["1024_entries_ms"] > row["16_entries_ms"]
+
+    benchmark(_compile_and_generate, ALL_MODULES[0].P4_SOURCE, "calc", 64)
+
+
+@pytest.mark.parametrize("entries", ENTRY_COUNTS)
+def test_fig8_calc_scaling(benchmark, entries):
+    """Per-entry-count benchmark of the CALC program (Fig. 8 x-axis)."""
+    from repro.modules import calc
+    result = benchmark(_compile_and_generate, calc.P4_SOURCE, "calc",
+                       entries)
+    assert result > 0

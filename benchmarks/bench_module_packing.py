@@ -1,0 +1,124 @@
+"""§5.2 "How many modules can be packed?"
+
+The overlay depth bounds concurrent modules at 32; the real binding
+constraint is usually the bottleneck space-partitioned resource — with
+16 CAM rows per stage, "if each module wants a match-action entry in
+every pipeline stage, the maximum number of modules is at most 16".
+This bench reproduces both numbers and sweeps the hardware knobs, plus
+compares admission policies.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+from repro.compiler.resource_checker import ResourceRequest
+from repro.core import MenshenPipeline
+from repro.modules import calc
+from repro.policy import DrfPolicy, FirstFitPolicy
+from repro.rmt.params import DEFAULT_PARAMS
+from repro.runtime import MenshenController
+
+
+def _request(match_per_stage: int, stages: int) -> ResourceRequest:
+    return ResourceRequest(match_entries=match_per_stage * stages,
+                           stateful_words=0, num_tables=stages,
+                           parse_actions=4, containers=2)
+
+
+def test_module_packing_limits(benchmark):
+    params = DEFAULT_PARAMS
+    rows = []
+    # Overlay-bound: a module wanting 1 entry in 1 stage.
+    policy = FirstFitPolicy(params)
+    n = 0
+    while n < 64 and policy.admit(n + 1, _request(1, 1)):
+        n += 1
+    rows.append({"workload": "1 entry, 1 stage",
+                 "limit": min(n, params.max_modules),
+                 "binding_constraint": "overlay depth (32)"})
+    # CAM-bound: a module wanting an entry in EVERY stage (paper: 16).
+    policy = FirstFitPolicy(params)
+    n = 0
+    while n < 64 and policy.admit(100 + n, _request(1, params.num_stages)):
+        n += 1
+    rows.append({"workload": "1 entry per ALL stages",
+                 "limit": n, "binding_constraint": "16 CAM rows/stage"})
+    report("module_packing", "§5.2 module packing limits", rows)
+    assert rows[0]["limit"] == 32
+    assert rows[1]["limit"] == 16
+    benchmark(lambda: FirstFitPolicy(params).admit(1, _request(1, 1)))
+
+
+def test_module_packing_hardware_sweep(benchmark):
+    """More hardware -> more modules (the paper's 'entirely a function
+    of how much hardware one is willing to pay' argument)."""
+    rows = []
+    for cam_depth in [16, 32, 64, 128]:
+        params = DEFAULT_PARAMS.with_overrides(
+            match_entries_per_stage=cam_depth)
+        policy = FirstFitPolicy(params)
+        n = 0
+        while n < 256 and policy.admit(n + 1,
+                                       _request(1, params.num_stages)):
+            n += 1
+        rows.append({"cam_rows_per_stage": cam_depth,
+                     "modules_with_entry_in_every_stage": n})
+    report("module_packing_sweep",
+           "Module packing vs CAM depth", rows)
+    limits = [r["modules_with_entry_in_every_stage"] for r in rows]
+    assert limits == sorted(limits)
+    benchmark(lambda: FirstFitPolicy(DEFAULT_PARAMS))
+
+
+def test_packing_on_real_pipeline(benchmark):
+    """Actually load as many CALC instances as the pipeline admits.
+
+    With the stage-balanced placer, 4 four-entry tables fit per stage
+    across all 5 stages: 20 instances, bounded by total CAM rows
+    (80 / 4) rather than one stage's 16.
+    """
+    pipe = MenshenPipeline()
+    ctl = MenshenController(pipe)
+    loaded = 0
+    for vid in range(1, 32):
+        try:
+            ctl.load_module(vid, calc.P4_SOURCE, f"calc{vid}")
+            loaded += 1
+        except Exception:
+            break
+    rows = [{"program": "calc (4-entry table, 1 stage)",
+             "instances_loaded": loaded,
+             "binding_constraint": "80 CAM rows pipeline-wide "
+                                   "(stage-balanced placement)"}]
+    report("module_packing_real", "Real-pipeline packing", rows)
+    assert loaded == 20
+    stages_used = {next(iter(m.compiled.stages_used()))
+                   for m in ctl.modules.values()}
+    assert stages_used == {0, 1, 2, 3, 4}  # balancer used every stage
+    benchmark(lambda: len(pipe.loaded_modules))
+
+
+def test_drf_vs_firstfit_heterogeneous(benchmark):
+    """Policy comparison on a heterogeneous arrival mix: DRF refuses the
+    resource hog, keeping room for more small tenants."""
+    hog = _request(16, 5)        # wants the whole CAM everywhere
+    small = _request(1, 1)
+
+    ff = FirstFitPolicy()
+    ff_admitted = sum([ff.admit(1, hog)]
+                      + [ff.admit(10 + i, small) for i in range(20)])
+    drf = DrfPolicy(expected_tenants=8, fairness_slack=2.0)
+    drf_admitted = sum([drf.admit(1, hog)]
+                       + [drf.admit(10 + i, small) for i in range(20)])
+    rows = [
+        {"policy": "first-fit", "hog_admitted": ff.admit.__self__ is ff
+         and bool(ff.state.usage.get(1)), "total_admitted": ff_admitted},
+        {"policy": "DRF", "hog_admitted": bool(drf.state.usage.get(1)),
+         "total_admitted": drf_admitted},
+    ]
+    report("policy_comparison", "Admission policies: DRF vs first-fit",
+           rows)
+    assert bool(ff.state.usage.get(1)) is True
+    assert bool(drf.state.usage.get(1)) is False
+    assert drf_admitted >= ff_admitted
+    benchmark(lambda: DrfPolicy().admit(99, small))

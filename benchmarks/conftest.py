@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one table or figure from the paper's evaluation
+(§5) and prints its rows; printed output is also appended to
+``benchmarks/results/<name>.txt`` so ``--benchmark-only`` runs leave
+artifacts regardless of capture settings.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, title: str, rows: List[Dict],
+           columns: Sequence[str] = None) -> None:
+    """Print a labeled table and persist it under benchmarks/results/."""
+    if not rows:
+        lines = [f"== {title} ==", "(no rows)"]
+    else:
+        columns = list(columns or rows[0].keys())
+        widths = {c: max(len(str(c)),
+                         *(len(str(r.get(c, ""))) for r in rows))
+                  for c in columns}
+        header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+        sep = "-" * len(header)
+        lines = [f"== {title} ==", header, sep]
+        for row in rows:
+            lines.append("  ".join(
+                str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""NetChain scenario: in-network sequencing for distributed coordination.
+
+Reproduces the NetChain idea (NSDI'18) on the Menshen pipeline: clients
+racing to acquire a lease send coordination packets through the switch,
+which assigns each a globally-ordered sequence number from stateful
+memory in a single pipeline pass — no server round trip. The demo shows
+(a) strict monotonic ordering under interleaved clients, (b) a second
+tenant's sequencer being completely independent (segment-table
+isolation), and (c) control-plane reset of the sequencer.
+
+Run:  python examples/netchain_sequencer.py
+"""
+
+from repro.core import MenshenPipeline
+from repro.modules import netchain
+from repro.runtime import MenshenController
+
+
+def main() -> None:
+    pipeline = MenshenPipeline()
+    controller = MenshenController(pipeline)
+
+    # Two tenants, each running their own NetChain sequencer.
+    controller.load_module(1, netchain.P4_SOURCE, "tenantA-chain")
+    netchain.install_entries(controller, 1, port=1)
+    controller.load_module(2, netchain.P4_SOURCE, "tenantB-chain")
+    netchain.install_entries(controller, 2, port=2)
+
+    # Interleaved clients of tenant A race for sequence numbers.
+    print("tenant A: three clients racing (interleaved packets)")
+    assignments = {"client1": [], "client2": [], "client3": []}
+    order = ["client1", "client2", "client1", "client3", "client2",
+             "client3", "client1", "client2", "client3"]
+    for client in order:
+        result = pipeline.process(netchain.make_packet(1))
+        assignments[client].append(netchain.read_seq(result.packet))
+    for client, seqs in assignments.items():
+        print(f"  {client}: {seqs}")
+    all_seqs = sorted(s for seqs in assignments.values() for s in seqs)
+    assert all_seqs == list(range(1, len(order) + 1)), \
+        "sequence numbers must be gapless and unique"
+    print(f"  global order is gapless: 1..{len(order)}")
+
+    # Tenant B's sequencer is unaffected by tenant A's traffic.
+    result = pipeline.process(netchain.make_packet(2))
+    seq_b = netchain.read_seq(result.packet)
+    print(f"tenant B's first sequence number: {seq_b} "
+          f"(independent of tenant A's {len(order)} requests)")
+    assert seq_b == 1
+
+    # The two sequencers live in disjoint physical stateful memory.
+    for vid, name in [(1, "A"), (2, "B")]:
+        loaded = controller.modules[vid]
+        stage = loaded.compiled.registers["sequencer"].stage
+        alloc = loaded.allocation.stage(stage)
+        value = controller.register_read(vid, "sequencer")
+        print(f"  tenant {name} sequencer: stage {stage} words "
+              f"[{alloc.stateful_base}, {alloc.stateful_end}), "
+              f"value {value}")
+
+    # Control-plane epoch reset (e.g. after failover).
+    controller.register_write(1, "sequencer", 0, 0)
+    result = pipeline.process(netchain.make_packet(1))
+    print(f"after epoch reset, tenant A restarts at "
+          f"{netchain.read_seq(result.packet)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Setuptools shim for environments without PEP 517 wheel support.
+
+Project metadata lives in pyproject.toml; this file only enables legacy
+``pip install -e . --no-use-pep517`` in offline environments.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Menshen reproduction: isolation mechanisms for high-speed "
+        "packet-processing (RMT) pipelines (NSDI 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,28 @@
+"""Menshen reproduction: isolation mechanisms for RMT pipelines (NSDI'22).
+
+Top-level convenience exports; see the subpackages for the full API:
+
+* :mod:`repro.core` — the Menshen pipeline and isolation primitives
+* :mod:`repro.rmt` — the baseline RMT substrate
+* :mod:`repro.compiler` — the P4-16-subset compiler
+* :mod:`repro.runtime` — controller and software-to-hardware interface
+* :mod:`repro.modules` — the eight evaluated programs
+* :mod:`repro.sysmod` — the system-level module
+* :mod:`repro.sim` / :mod:`repro.area` — performance and area models
+"""
+
+from .core import MenshenPipeline
+from .runtime import MenshenController
+from .compiler import compile_module
+from .rmt.params import HardwareParams, DEFAULT_PARAMS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MenshenPipeline",
+    "MenshenController",
+    "compile_module",
+    "HardwareParams",
+    "DEFAULT_PARAMS",
+    "__version__",
+]

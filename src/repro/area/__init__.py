@@ -1,0 +1,11 @@
+"""Silicon cost models: ASIC area (§5.2) and FPGA resources (Table 4)."""
+
+from .asic import AsicAreaModel, PAPER_TARGETS
+from .fpga import FpgaResourceModel, TABLE4_REFERENCE
+
+__all__ = [
+    "AsicAreaModel",
+    "PAPER_TARGETS",
+    "FpgaResourceModel",
+    "TABLE4_REFERENCE",
+]

@@ -1,0 +1,267 @@
+"""AST node definitions for the P4-16 subset.
+
+Plain dataclasses, one per syntactic construct. Every node carries a
+source line for error reporting. The tree is deliberately close to the
+surface syntax; lowering happens in :mod:`repro.compiler.ir`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Types and declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FieldDecl:
+    """``bit<width> name;`` inside a header."""
+
+    name: str
+    width_bits: int
+    line: int = 0
+
+
+@dataclass
+class HeaderDecl:
+    """``header name { fields }``"""
+
+    name: str
+    fields: List[FieldDecl]
+    line: int = 0
+
+    @property
+    def width_bits(self) -> int:
+        return sum(f.width_bits for f in self.fields)
+
+    @property
+    def width_bytes(self) -> int:
+        return self.width_bits // 8
+
+
+@dataclass
+class StructMember:
+    """``type_name member_name;`` inside a struct."""
+
+    type_name: str
+    name: str
+    line: int = 0
+
+
+@dataclass
+class StructDecl:
+    """``struct name { members }`` — usually the headers bundle."""
+
+    name: str
+    members: List[StructMember]
+    line: int = 0
+
+
+@dataclass
+class ConstDecl:
+    """``const bit<W> NAME = value;``"""
+
+    name: str
+    width_bits: int
+    value: int
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FieldRef:
+    """``hdr.ipv4.dstAddr`` or ``standard_metadata.egress_spec`` or a
+    bare action-parameter name."""
+
+    parts: Tuple[str, ...]
+    line: int = 0
+
+    @property
+    def dotted(self) -> str:
+        return ".".join(self.parts)
+
+    def __hash__(self) -> int:
+        return hash(self.parts)
+
+
+@dataclass
+class Const:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class BinOp:
+    """``left op right`` with op in {+, -, ==, !=, <, >, <=, >=}."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+Expr = Union[FieldRef, Const, BinOp]
+
+
+# ---------------------------------------------------------------------------
+# Parser section
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExtractStmt:
+    """``packet.extract(hdr.x);``"""
+
+    header_ref: FieldRef
+    line: int = 0
+
+
+@dataclass
+class SelectCase:
+    value: Optional[int]   #: None = default
+    next_state: str
+    line: int = 0
+
+
+@dataclass
+class Transition:
+    """``transition next;`` or ``transition select(expr) { cases }``.
+
+    The Menshen hardware parser is branch-free per module; selects are
+    accepted syntactically and resolved statically (see ir.py).
+    """
+
+    next_state: Optional[str] = None
+    select_expr: Optional[Expr] = None
+    cases: List[SelectCase] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ParserState:
+    name: str
+    extracts: List[ExtractStmt]
+    transition: Transition
+    line: int = 0
+
+
+@dataclass
+class ParserDecl:
+    name: str
+    params: List["Param"]
+    states: List[ParserState]
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Control section
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param:
+    direction: str      #: "", "in", "out", "inout"
+    type_name: str
+    name: str
+    line: int = 0
+
+
+@dataclass
+class RegisterDecl:
+    """``register<bit<W>>(size) name;``"""
+
+    name: str
+    width_bits: int
+    size: int
+    line: int = 0
+
+
+@dataclass
+class AssignStmt:
+    """``target = expr;``"""
+
+    target: FieldRef
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class PrimitiveCall:
+    """``mark_to_drop();``, ``reg.read(dst, addr);`` etc."""
+
+    target: FieldRef          #: e.g. ("mark_to_drop",) or ("reg", "read")
+    args: List[Expr]
+    line: int = 0
+
+
+ActionStmt = Union[AssignStmt, PrimitiveCall]
+
+
+@dataclass
+class ActionDecl:
+    name: str
+    params: List[Param]
+    body: List[ActionStmt]
+    line: int = 0
+
+
+@dataclass
+class KeyElement:
+    field: FieldRef
+    match_kind: str           #: "exact" (the prototype's only kind)
+    line: int = 0
+
+
+@dataclass
+class TableDecl:
+    name: str
+    keys: List[KeyElement]
+    action_names: List[str]
+    size: int
+    default_action: Optional[str] = None
+    line: int = 0
+
+
+@dataclass
+class TableApply:
+    table_name: str
+    line: int = 0
+
+
+@dataclass
+class IfStmt:
+    condition: BinOp
+    then_body: List["ApplyStmt"]
+    else_body: List["ApplyStmt"] = field(default_factory=list)
+    line: int = 0
+
+
+ApplyStmt = Union[TableApply, IfStmt]
+
+
+@dataclass
+class ControlDecl:
+    name: str
+    params: List[Param]
+    registers: List[RegisterDecl]
+    actions: List[ActionDecl]
+    tables: List[TableDecl]
+    apply_body: List[ApplyStmt]
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Program
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Program:
+    headers: Dict[str, HeaderDecl]
+    structs: Dict[str, StructDecl]
+    consts: Dict[str, ConstDecl]
+    parser: Optional[ParserDecl]
+    control: Optional[ControlDecl]
+    source_name: str = "<module>"

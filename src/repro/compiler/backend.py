@@ -1,0 +1,470 @@
+"""Backend: emit hardware configurations from the allocated IR.
+
+Produces a :class:`CompiledModule`, which contains everything the
+runtime needs to install the module:
+
+* the parse/deparse programs (lists of
+  :class:`~repro.rmt.parser.ParseAction`, shared system fields merged in),
+* per-table stage bindings, key-extractor entries, key masks, and
+  key-building helpers,
+* per-action VLIW *templates* whose immediates stay symbolic until entry
+  insertion (action parameters) or module load (register bases),
+* register specifications (which stage's stateful memory, how many words).
+
+The compiled artifact is bound to absolute stages (all user modules
+share the user stages — isolation comes from module IDs, not placement)
+but NOT to a module ID, CAM rows, or stateful bases; those are assigned
+at load time by the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import AllocationError, CompilerError
+from ..rmt.action import AluAction, AluOp, VliwInstruction
+from ..rmt.key_extractor import CmpOp, KeyExtractEntry
+from ..rmt.parser import ParseAction
+from ..rmt.phv import ContainerRef, ContainerType
+from .allocator import Allocation, allocate
+from .ir import IRImmediate, METADATA_OPS, ModuleIR
+from .target import TargetDescription
+from .typecheck import FieldInfo
+
+#: LSB offset of each key slot within the 193-bit key (see encodings).
+KEY_SLOT_OFFSETS = {
+    "6b_1": 145, "6b_2": 97, "4b_1": 65, "4b_2": 33,
+    "2b_1": 17, "2b_2": 1,
+}
+KEY_SLOT_WIDTHS = {
+    "6b_1": 48, "6b_2": 48, "4b_1": 32, "4b_2": 32, "2b_1": 16, "2b_2": 16,
+}
+_SLOTS_BY_CLASS = {
+    ContainerType.B6: ("6b_1", "6b_2"),
+    ContainerType.B4: ("4b_1", "4b_2"),
+    ContainerType.B2: ("2b_1", "2b_2"),
+}
+_CMP_FROM_STR = {
+    "==": CmpOp.EQ, "!=": CmpOp.NE, ">": CmpOp.GT, "<": CmpOp.LT,
+    ">=": CmpOp.GE, "<=": CmpOp.LE,
+}
+_OP_FROM_KIND = {
+    "add": AluOp.ADD, "sub": AluOp.SUB, "addi": AluOp.ADDI,
+    "subi": AluOp.SUBI, "set": AluOp.SET, "load": AluOp.LOAD,
+    "store": AluOp.STORE, "loadd": AluOp.LOADD, "port": AluOp.PORT,
+    "mcast": AluOp.MCAST, "discard": AluOp.DISCARD,
+}
+
+
+@dataclass(frozen=True)
+class SlotTemplate:
+    """One ALU slot of an action template."""
+
+    slot: int
+    opcode: AluOp
+    c1: Optional[ContainerRef]
+    c2: Optional[ContainerRef]
+    imm: IRImmediate
+
+
+@dataclass
+class CompiledAction:
+    """An action lowered to a VLIW template."""
+
+    name: str
+    params: List[Tuple[str, int]]       #: (name, width_bits)
+    slots: List[SlotTemplate]
+    registers: Set[str] = field(default_factory=set)
+
+    def make_vliw(self, param_values: Optional[Dict[str, int]] = None,
+                  register_bases: Optional[Dict[str, int]] = None
+                  ) -> VliwInstruction:
+        """Instantiate the template into a concrete VLIW instruction."""
+        param_values = param_values or {}
+        register_bases = register_bases or {}
+        expected = {n for n, _ in self.params}
+        missing = expected - set(param_values)
+        if missing:
+            raise CompilerError(
+                f"action {self.name!r} needs parameter values for "
+                f"{sorted(missing)}")
+        for pname, width in self.params:
+            value = param_values[pname]
+            if not 0 <= value < (1 << width):
+                raise CompilerError(
+                    f"action {self.name!r} parameter {pname}={value} does "
+                    f"not fit bit<{width}>")
+        sparse = {}
+        for tpl in self.slots:
+            imm = tpl.imm.resolve(param_values, register_bases)
+            if not 0 <= imm < (1 << 16):
+                raise CompilerError(
+                    f"action {self.name!r}: resolved immediate {imm} does "
+                    f"not fit 16 bits")
+            action = AluAction(
+                opcode=tpl.opcode, c1=tpl.c1, c2=tpl.c2,
+                immediate=imm if tpl.opcode.uses_immediate else 0)
+            sparse[tpl.slot] = action
+        return VliwInstruction.from_sparse(sparse)
+
+
+@dataclass
+class CompiledTable:
+    """A table bound to a stage with its key plumbing."""
+
+    name: str
+    stage: int
+    size: int
+    match_kind: str
+    #: (slot name, dotted field, container) per key field.
+    key_layout: List[Tuple[str, str, ContainerRef]]
+    key_entry: KeyExtractEntry
+    key_mask: int
+    #: None when unconditioned; True/False = flag value entries must carry.
+    predicate_value: Optional[bool]
+    actions: Dict[str, CompiledAction]
+    #: Parameterless action executed on miss (P4 default_action), if any.
+    default_action: Optional[str] = None
+
+    def make_key(self, values: Dict[str, int]) -> int:
+        """Build the 193-bit lookup key from per-field values.
+
+        ``values`` maps dotted field names to integers; every key field
+        must be present. The predicate flag bit is set per the table's
+        branch (then=1, else=0).
+        """
+        expected = {dotted for _slot, dotted, _ref in self.key_layout}
+        missing = expected - set(values)
+        if missing:
+            raise CompilerError(
+                f"table {self.name!r} key needs values for {sorted(missing)}")
+        extra = set(values) - expected
+        if extra:
+            raise CompilerError(
+                f"table {self.name!r} got values for non-key fields "
+                f"{sorted(extra)}")
+        key = 0
+        for slot, dotted, ref in self.key_layout:
+            value = values[dotted]
+            width = KEY_SLOT_WIDTHS[slot]
+            if not 0 <= value < (1 << width):
+                raise CompilerError(
+                    f"key field {dotted}={value:#x} exceeds {width} bits")
+            key |= value << KEY_SLOT_OFFSETS[slot]
+        if self.predicate_value:
+            key |= 1
+        return key
+
+    def make_entry_mask(self, field_masks: Optional[Dict[str, int]] = None
+                        ) -> int:
+        """Build a per-entry ternary mask (Appendix B).
+
+        ``field_masks`` maps dotted key fields to bit masks; omitted
+        fields match exactly (all-ones). The predicate flag bit always
+        participates when the table has a predicate.
+        """
+        field_masks = field_masks or {}
+        extra = set(field_masks) - {d for _s, d, _r in self.key_layout}
+        if extra:
+            raise CompilerError(
+                f"table {self.name!r}: masks given for non-key fields "
+                f"{sorted(extra)}")
+        mask = 0
+        for slot, dotted, _ref in self.key_layout:
+            width = KEY_SLOT_WIDTHS[slot]
+            field_mask = field_masks.get(dotted, (1 << width) - 1)
+            if not 0 <= field_mask < (1 << width):
+                raise CompilerError(
+                    f"mask for {dotted} exceeds {width} bits")
+            mask |= field_mask << KEY_SLOT_OFFSETS[slot]
+        if self.predicate_value is not None:
+            mask |= 1
+        return mask
+
+
+@dataclass(frozen=True)
+class RegisterSpec:
+    """A register bound to one stage's stateful memory."""
+
+    name: str
+    width_bits: int
+    size: int
+    stage: int
+
+
+@dataclass
+class CompiledModule:
+    """The complete loadable artifact."""
+
+    name: str
+    target: TargetDescription
+    parse_actions: List[ParseAction]
+    deparse_actions: List[ParseAction]
+    field_alloc: Dict[str, ContainerRef]
+    tables: Dict[str, CompiledTable]
+    table_order: List[str]
+    registers: Dict[str, RegisterSpec]
+    dependencies: Dict[str, Set[str]]
+
+    # -- derived views -------------------------------------------------------
+
+    def stages_used(self) -> List[int]:
+        return sorted({t.stage for t in self.tables.values()})
+
+    def tables_by_stage(self) -> Dict[int, CompiledTable]:
+        return {t.stage: t for t in self.tables.values()}
+
+    def match_entries_by_stage(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for t in self.tables.values():
+            out[t.stage] = out.get(t.stage, 0) + t.size
+        return out
+
+    def stateful_words_by_stage(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for reg in self.registers.values():
+            out[reg.stage] = out.get(reg.stage, 0) + reg.size
+        return out
+
+    def resource_usage(self) -> Dict[str, object]:
+        """Summary consumed by the resource checker and policies."""
+        containers: Dict[str, int] = {"B2": 0, "B4": 0, "B6": 0}
+        shared_refs = set(
+            (int(r.ctype), r.index)
+            for r in self.target.shared_fields.values())
+        for ref in set((int(r.ctype), r.index)
+                       for r in self.field_alloc.values()):
+            if ref in shared_refs:
+                continue
+            containers[ContainerType(ref[0]).name] += 1
+        return {
+            "parse_actions": len(self.parse_actions),
+            "containers": containers,
+            "num_tables": len(self.tables),
+            "stages": self.stages_used(),
+            "match_entries_by_stage": self.match_entries_by_stage(),
+            "stateful_words_by_stage": self.stateful_words_by_stage(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+def _is_scratch(info: FieldInfo) -> bool:
+    """Scratch headers (instance named ``scratch``) are PHV temporaries:
+    their fields get containers but are never parsed from or deparsed to
+    the wire — the §3.1 "temporary packet headers" space."""
+    return info.instance.split(".")[-1] == "scratch"
+
+
+def _emit_parse_programs(ir: ModuleIR, target: TargetDescription,
+                         alloc: Allocation
+                         ) -> Tuple[List[ParseAction], List[ParseAction]]:
+    """Build the module's parse and deparse action lists."""
+    parse_set: Dict[Tuple[int, int, int], ParseAction] = {}
+
+    def add(offset: int, ref: ContainerRef, into: dict) -> None:
+        key = (offset, int(ref.ctype), ref.index)
+        into[key] = ParseAction(offset, ref)
+
+    for offset, ref in target.shared_parse_fields:
+        add(offset, ref, parse_set)
+    for dotted in sorted(ir.fields_used):
+        info = ir.field_info(dotted)
+        if _is_scratch(info):
+            continue
+        add(info.byte_offset, alloc.container_of(dotted), parse_set)
+
+    deparse_set: Dict[Tuple[int, int, int], ParseAction] = {}
+    for offset, ref in target.shared_deparse_fields:
+        add(offset, ref, deparse_set)
+    for dotted in sorted(ir.fields_written):
+        info = ir.field_info(dotted)
+        if _is_scratch(info):
+            continue
+        add(info.byte_offset, alloc.container_of(dotted), deparse_set)
+
+    parse_actions = [parse_set[k] for k in sorted(parse_set)]
+    deparse_actions = [deparse_set[k] for k in sorted(deparse_set)]
+    limit = target.params.parse_actions_per_entry
+    if len(parse_actions) > limit:
+        raise AllocationError(
+            f"module needs {len(parse_actions)} parse actions (including "
+            f"system-shared fields) but the parser supports {limit}")
+    if len(deparse_actions) > limit:
+        raise AllocationError(
+            f"module needs {len(deparse_actions)} deparse actions but the "
+            f"deparser supports {limit}")
+    return parse_actions, deparse_actions
+
+
+def _cmp_operand(side, alloc: Allocation):
+    """Predicate operand -> KeyExtractEntry operand (container or imm)."""
+    if isinstance(side, FieldInfo):
+        return alloc.container_of(side.dotted)
+    if not 0 <= side < 128:
+        raise CompilerError(
+            f"predicate immediate {side} does not fit the 7-bit comparator "
+            f"operand")
+    return side
+
+
+def _emit_table(ir: ModuleIR, table, target: TargetDescription,
+                alloc: Allocation,
+                actions: Dict[str, CompiledAction]) -> CompiledTable:
+    # Key slots: up to 2 fields per container class.
+    used_slots: Dict[str, Tuple[str, ContainerRef]] = {}
+    per_class_count = {ContainerType.B2: 0, ContainerType.B4: 0,
+                       ContainerType.B6: 0}
+    for info in table.key_fields:
+        ref = alloc.container_of(info.dotted)
+        cls = ref.ctype
+        idx = per_class_count[cls]
+        if idx >= 2:
+            raise AllocationError(
+                f"table {table.name!r}: more than 2 key fields of the "
+                f"{cls.size_bytes}-byte class")
+        slot = _SLOTS_BY_CLASS[cls][idx]
+        used_slots[slot] = (info.dotted, ref)
+        per_class_count[cls] += 1
+
+    entry_kwargs: Dict[str, int] = {}
+    mask = 0
+    key_layout: List[Tuple[str, str, ContainerRef]] = []
+    for slot, (dotted, ref) in used_slots.items():
+        entry_kwargs[f"idx_{slot}"] = ref.index
+        mask |= ((1 << KEY_SLOT_WIDTHS[slot]) - 1) << KEY_SLOT_OFFSETS[slot]
+        key_layout.append((slot, dotted, ref))
+    key_layout.sort(key=lambda item: -KEY_SLOT_OFFSETS[item[0]])
+
+    predicate_value: Optional[bool] = None
+    cmp_op = CmpOp.DISABLED
+    cmp_a: object = 0
+    cmp_b: object = 0
+    if table.predicate is not None:
+        predicate_value = table.predicate_value
+        cmp_op = _CMP_FROM_STR[table.predicate.op]
+        cmp_a = _cmp_operand(table.predicate.left, alloc)
+        cmp_b = _cmp_operand(table.predicate.right, alloc)
+        mask |= 1  # the flag bit participates in matching
+
+    default_action = table.default_action
+    if default_action is not None:
+        if default_action not in table.action_names:
+            raise CompilerError(
+                f"table {table.name!r}: default_action "
+                f"{default_action!r} is not in its actions list")
+        if actions[default_action].params:
+            raise CompilerError(
+                f"table {table.name!r}: default_action "
+                f"{default_action!r} must be parameterless (miss entries "
+                f"carry no action data)")
+
+    key_entry = KeyExtractEntry(cmp_op=cmp_op, cmp_a=cmp_a, cmp_b=cmp_b,
+                                **entry_kwargs)
+    return CompiledTable(
+        name=table.name,
+        stage=alloc.table_to_stage[table.name],
+        size=table.size,
+        match_kind=table.match_kind,
+        key_layout=key_layout,
+        key_entry=key_entry,
+        key_mask=mask,
+        predicate_value=predicate_value,
+        actions={name: actions[name] for name in table.action_names},
+        default_action=default_action,
+    )
+
+
+def _emit_action(ir: ModuleIR, name: str, target: TargetDescription,
+                 alloc: Allocation) -> CompiledAction:
+    ir_action = ir.actions[name]
+    slots: Dict[int, SlotTemplate] = {}
+    registers: Set[str] = set()
+    for op in ir_action.ops:
+        opcode = _OP_FROM_KIND[op.kind]
+        if op.kind in METADATA_OPS:
+            slot = 24
+        else:
+            slot = alloc.container_of(op.dest).flat_index
+        if slot in slots:
+            raise CompilerError(
+                f"action {name!r}: two operations target ALU slot {slot} "
+                f"(one ALU per container)", ir_action.line)
+        c1: Optional[ContainerRef] = None
+        c2: Optional[ContainerRef] = None
+        if op.src1 is not None:
+            c1 = alloc.container_of(op.src1)
+        elif opcode.needs_c1:
+            c1 = target.zero_container
+        if op.src2 is not None:
+            c2 = alloc.container_of(op.src2)
+        if op.register is not None:
+            registers.add(op.register)
+        slots[slot] = SlotTemplate(slot=slot, opcode=opcode, c1=c1, c2=c2,
+                                   imm=op.imm)
+    return CompiledAction(name=name, params=list(ir_action.params),
+                          slots=list(slots.values()), registers=registers)
+
+
+def _emit_registers(ir: ModuleIR, compiled_tables: Dict[str, CompiledTable],
+                    target: TargetDescription) -> Dict[str, RegisterSpec]:
+    """Bind registers to the stage of the table using them."""
+    placements: Dict[str, int] = {}
+    for table in compiled_tables.values():
+        for action in table.actions.values():
+            for reg_name in action.registers:
+                if reg_name in placements \
+                        and placements[reg_name] != table.stage:
+                    raise AllocationError(
+                        f"register {reg_name!r} is used by tables in "
+                        f"different stages; a register lives in exactly "
+                        f"one stage's memory")
+                placements[reg_name] = table.stage
+    specs: Dict[str, RegisterSpec] = {}
+    for reg_name, stage in placements.items():
+        decl = ir.registers[reg_name]
+        if decl.width_bits > target.params.stateful_word_bits:
+            raise AllocationError(
+                f"register {reg_name!r} is {decl.width_bits} bits wide; "
+                f"stateful words are {target.params.stateful_word_bits} bits")
+        specs[reg_name] = RegisterSpec(name=reg_name,
+                                       width_bits=decl.width_bits,
+                                       size=decl.size, stage=stage)
+    # Registers declared but never used get no stateful allocation.
+    return specs
+
+
+def emit(ir: ModuleIR, target: TargetDescription,
+         alloc: Optional[Allocation] = None) -> CompiledModule:
+    """Run the backend; returns the loadable module."""
+    if alloc is None:
+        alloc = allocate(ir, target)
+    parse_actions, deparse_actions = _emit_parse_programs(ir, target, alloc)
+
+    actions: Dict[str, CompiledAction] = {}
+    needed = {name for t in ir.tables for name in t.action_names}
+    for name in sorted(needed):
+        actions[name] = _emit_action(ir, name, target, alloc)
+
+    tables: Dict[str, CompiledTable] = {}
+    order: List[str] = []
+    for table in ir.tables:
+        tables[table.name] = _emit_table(ir, table, target, alloc, actions)
+        order.append(table.name)
+
+    registers = _emit_registers(ir, tables, target)
+
+    return CompiledModule(
+        name=ir.name,
+        target=target,
+        parse_actions=parse_actions,
+        deparse_actions=deparse_actions,
+        field_alloc=dict(alloc.field_to_container),
+        tables=tables,
+        table_order=order,
+        registers=registers,
+        dependencies=dict(alloc.dependencies),
+    )

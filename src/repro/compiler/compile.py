@@ -1,0 +1,48 @@
+"""Compiler driver: source text -> loadable CompiledModule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .allocator import allocate
+from .backend import CompiledModule, emit
+from .ir import lower
+from .parser import parse_source
+from .resource_checker import check_against_hardware
+from .static_checker import check_module
+from .target import DEFAULT_TARGET, TargetDescription
+from .typecheck import typecheck
+
+
+@dataclass
+class CompilerOptions:
+    """Knobs for a compilation run."""
+
+    target: TargetDescription = None
+    run_static_checks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.target is None:
+            self.target = DEFAULT_TARGET
+
+
+def compile_module(source: str, name: str = "<module>",
+                   options: CompilerOptions = None) -> CompiledModule:
+    """Compile one P4-16 module for the Menshen pipeline.
+
+    Pipeline: lex/parse -> typecheck -> static checks (§3.4) -> lower to
+    IR -> allocate PHV containers and stages -> emit configurations ->
+    re-validate against hardware dimensions.
+    """
+    if options is None:
+        options = CompilerOptions()
+    program = parse_source(source, name)
+    env = typecheck(program)
+    if options.run_static_checks:
+        check_module(env)
+    ir = lower(env)
+    ir.name = name
+    alloc = allocate(ir, options.target)
+    module = emit(ir, options.target, alloc)
+    check_against_hardware(module, options.target.params)
+    return module

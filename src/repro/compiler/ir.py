@@ -1,0 +1,422 @@
+"""Module IR: the typed AST lowered to ALU-shaped operations.
+
+The IR is the compiler's midend product: tables in apply order with
+their stage predicates, and actions lowered to per-op records that map
+1:1 onto the hardware's ALU opcodes. Immediates are *symbolic*
+(:class:`IRImmediate`): a constant part plus optional action-parameter
+and register-base terms, resolved when entries are installed at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..errors import CompilerError, TypeCheckError
+from .ast_nodes import (
+    AssignStmt,
+    BinOp,
+    Const,
+    ControlDecl,
+    FieldRef,
+    IfStmt,
+    PrimitiveCall,
+    Program,
+    RegisterDecl,
+    TableApply,
+)
+from .typecheck import Env, FieldInfo
+
+
+@dataclass(frozen=True)
+class IRImmediate:
+    """Symbolic immediate: ``const + param + register base``."""
+
+    const: int = 0
+    param: Optional[str] = None      #: action parameter name
+    register: Optional[str] = None   #: register whose base is added
+
+    def resolve(self, param_values: Dict[str, int],
+                register_bases: Dict[str, int]) -> int:
+        value = self.const
+        if self.param is not None:
+            if self.param not in param_values:
+                raise CompilerError(
+                    f"missing value for action parameter {self.param!r}")
+            value += param_values[self.param]
+        if self.register is not None:
+            if self.register not in register_bases:
+                raise CompilerError(
+                    f"unresolved register base {self.register!r}")
+            value += register_bases[self.register]
+        return value
+
+    @property
+    def is_static(self) -> bool:
+        return self.param is None and self.register is None
+
+
+#: IR op kinds map 1:1 to AluOp names (lowercase).
+IR_OP_KINDS = {"add", "sub", "addi", "subi", "set", "load", "store",
+               "loadd", "port", "mcast", "discard"}
+
+#: Ops whose destination is the metadata ALU (slot 24).
+METADATA_OPS = {"port", "mcast", "discard"}
+
+
+@dataclass
+class IROp:
+    """One lowered ALU operation."""
+
+    kind: str
+    dest: Optional[str] = None    #: dotted field owning the output slot
+    src1: Optional[str] = None    #: dotted field (operand c1)
+    src2: Optional[str] = None    #: dotted field (operand c2)
+    imm: IRImmediate = field(default_factory=IRImmediate)
+    register: Optional[str] = None  #: register name for stateful ops
+    line: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in IR_OP_KINDS:
+            raise CompilerError(f"unknown IR op kind {self.kind!r}",
+                                self.line)
+
+
+@dataclass
+class IRAction:
+    name: str
+    params: List[Tuple[str, int]]     #: (name, width_bits)
+    ops: List[IROp]
+    line: int = 0
+
+
+#: A condition operand: a resolved field or a small constant.
+CondOperand = Union[FieldInfo, int]
+
+
+@dataclass
+class IRCondition:
+    """``left OP right`` evaluated by a stage's key-extractor comparator."""
+
+    op: str
+    left: CondOperand
+    right: CondOperand
+    line: int = 0
+
+
+@dataclass
+class IRTable:
+    name: str
+    key_fields: List[FieldInfo]
+    action_names: List[str]
+    size: int
+    match_kind: str = "exact"
+    #: Predicate guarding this table (from an enclosing if) and the flag
+    #: value its entries must match (True for then-branch, False for else).
+    predicate: Optional[IRCondition] = None
+    predicate_value: bool = True
+    #: P4 default_action (parameterless), executed on miss when the
+    #: pipeline enables default actions.
+    default_action: Optional[str] = None
+    line: int = 0
+
+
+@dataclass
+class ModuleIR:
+    """Everything later passes need, in hardware-shaped form."""
+
+    name: str
+    env: Env
+    tables: List[IRTable]                 #: in apply (stage) order
+    actions: Dict[str, IRAction]
+    registers: Dict[str, RegisterDecl]
+    fields_used: Set[str] = field(default_factory=set)
+    fields_written: Set[str] = field(default_factory=set)
+
+    def field_info(self, dotted: str) -> FieldInfo:
+        return self.env.fields[dotted]
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+def _expr_parts(expr) -> Tuple[Optional[FieldRef], Optional[FieldRef],
+                               Optional[str], int]:
+    """Destructure an action RHS into (field1, field2, op, const).
+
+    Supported shapes: ``const``, ``field``, ``param``, ``field +- field``,
+    ``field +- const``, ``field +- param``.
+    """
+    if isinstance(expr, Const):
+        return None, None, None, expr.value
+    if isinstance(expr, FieldRef):
+        return expr, None, None, 0
+    if isinstance(expr, BinOp) and expr.op in ("+", "-"):
+        if not isinstance(expr.left, FieldRef):
+            raise CompilerError(
+                "arithmetic left operand must be a field or parameter",
+                expr.line)
+        if isinstance(expr.right, Const):
+            return expr.left, None, expr.op, expr.right.value
+        if isinstance(expr.right, FieldRef):
+            return expr.left, expr.right, expr.op, 0
+    raise CompilerError(f"unsupported action expression", getattr(expr, "line", 0))
+
+
+class _ActionLowering:
+    """Lowers one action's statements to IR ops."""
+
+    def __init__(self, env: Env, params: Dict[str, int]):
+        self.env = env
+        self.params = params
+        self.ops: List[IROp] = []
+
+    def _ref_kind(self, ref: FieldRef) -> str:
+        if len(ref.parts) == 1:
+            if ref.parts[0] in self.params:
+                return "param"
+            if ref.parts[0] in self.env.consts:
+                return "const"
+            raise CompilerError(f"unknown name {ref.dotted!r}", ref.line)
+        if self.env.is_metadata_ref(ref):
+            return "metadata"
+        return "field"
+
+    def lower_assign(self, stmt: AssignStmt) -> None:
+        target_kind = self._ref_kind(stmt.target)
+        f1, f2, op, const = _expr_parts(stmt.expr)
+
+        # Normalize param/const FieldRefs on the RHS.
+        imm = IRImmediate(const=const)
+        src1: Optional[str] = None
+        src2: Optional[str] = None
+        if f1 is not None:
+            kind1 = self._ref_kind(f1)
+            if kind1 == "param":
+                if f2 is not None or op == "-":
+                    raise CompilerError(
+                        "parameters may only appear alone or as '+ param'",
+                        stmt.line)
+                imm = IRImmediate(param=f1.parts[0])
+                f1 = None
+            elif kind1 == "const":
+                imm = IRImmediate(const=self.env.consts[f1.parts[0]])
+                f1 = None
+            elif kind1 == "metadata":
+                raise CompilerError(
+                    "standard_metadata fields are not readable by ALUs on "
+                    "this target", stmt.line)
+            else:
+                src1 = f1.dotted
+        if f2 is not None:
+            kind2 = self._ref_kind(f2)
+            if kind2 == "param":
+                if op == "-":
+                    raise CompilerError("cannot subtract a parameter",
+                                        stmt.line)
+                imm = IRImmediate(param=f2.parts[0])
+                f2 = None
+            elif kind2 == "const":
+                value = self.env.consts[f2.parts[0]]
+                imm = IRImmediate(const=value)
+                f2 = None
+            elif kind2 == "metadata":
+                raise CompilerError(
+                    "standard_metadata fields are not readable by ALUs on "
+                    "this target", stmt.line)
+            else:
+                src2 = f2.dotted
+
+        if target_kind == "metadata":
+            name, _width, writable = self.env.metadata_field(stmt.target)
+            if not writable:
+                raise CompilerError(
+                    f"standard_metadata.{name} is read-only", stmt.line)
+            kind = {"egress_spec": "port", "mcast_grp": "mcast"}[name]
+            self.ops.append(IROp(kind=kind, src1=src1, imm=imm,
+                                 line=stmt.line))
+            return
+        if target_kind != "field":
+            raise CompilerError(
+                f"cannot assign to {stmt.target.dotted!r}", stmt.line)
+
+        dest = stmt.target.dotted
+        self.env.resolve_field(stmt.target)
+
+        if src1 is None and src2 is None:
+            # pure immediate / parameter
+            self.ops.append(IROp(kind="set", dest=dest, imm=imm,
+                                 line=stmt.line))
+        elif src2 is None:
+            if op == "-":
+                if not imm.is_static:
+                    raise CompilerError("cannot subtract a parameter",
+                                        stmt.line)
+                self.ops.append(IROp(kind="subi", dest=dest, src1=src1,
+                                     imm=imm, line=stmt.line))
+            else:
+                # covers plain copy (imm 0), field+const, field+param
+                self.ops.append(IROp(kind="addi", dest=dest, src1=src1,
+                                     imm=imm, line=stmt.line))
+        else:
+            kind = "add" if op == "+" else "sub"
+            self.ops.append(IROp(kind=kind, dest=dest, src1=src1, src2=src2,
+                                 line=stmt.line))
+
+    def lower_primitive(self, call: PrimitiveCall) -> None:
+        name = call.target.parts[-1]
+        if name == "mark_to_drop":
+            self.ops.append(IROp(kind="discard", line=call.line))
+            return
+        if name in ("recirculate", "resubmit", "clone"):
+            # kept in IR so the static checker rejects with the §3.4 rule
+            raise CompilerError(
+                f"{name}() is forbidden: modules must not recirculate "
+                f"packets (static check, §3.4)", call.line)
+
+        reg_name = call.target.parts[0]
+        reg = self.env.registers[reg_name]
+
+        def addr_parts(expr) -> Tuple[Optional[str], IRImmediate]:
+            if isinstance(expr, Const):
+                if not 0 <= expr.value < reg.size:
+                    raise CompilerError(
+                        f"address {expr.value} out of register "
+                        f"{reg_name!r} size {reg.size}", call.line)
+                return None, IRImmediate(const=expr.value, register=reg_name)
+            if isinstance(expr, FieldRef):
+                kind = self._ref_kind(expr)
+                if kind == "param":
+                    return None, IRImmediate(param=expr.parts[0],
+                                             register=reg_name)
+                if kind == "field":
+                    return expr.dotted, IRImmediate(register=reg_name)
+            raise CompilerError(
+                "register address must be a constant, parameter, or field",
+                call.line)
+
+        if name == "read":
+            dst, addr = call.args[0], call.args[1]
+            if not isinstance(dst, FieldRef) or self._ref_kind(dst) != "field":
+                raise CompilerError("read destination must be a header field",
+                                    call.line)
+            src1, imm = addr_parts(addr)
+            self.ops.append(IROp(kind="load", dest=dst.dotted, src1=src1,
+                                 imm=imm, register=reg_name, line=call.line))
+        elif name == "write":
+            addr, src = call.args[0], call.args[1]
+            if not isinstance(src, FieldRef) or self._ref_kind(src) != "field":
+                raise CompilerError("write source must be a header field",
+                                    call.line)
+            src1, imm = addr_parts(addr)
+            # STORE stores the ALU's own container, so the op is placed on
+            # the source field's slot: dest carries the placement.
+            self.ops.append(IROp(kind="store", dest=src.dotted, src1=src1,
+                                 imm=imm, register=reg_name, line=call.line))
+        elif name == "loadd":
+            dst, addr = call.args[0], call.args[1]
+            if not isinstance(dst, FieldRef) or self._ref_kind(dst) != "field":
+                raise CompilerError(
+                    "loadd destination must be a header field", call.line)
+            src1, imm = addr_parts(addr)
+            self.ops.append(IROp(kind="loadd", dest=dst.dotted, src1=src1,
+                                 imm=imm, register=reg_name, line=call.line))
+        else:  # pragma: no cover — typecheck already filtered
+            raise CompilerError(f"unknown primitive {name!r}", call.line)
+
+
+def _lower_condition(env: Env, cond: BinOp) -> IRCondition:
+    def operand(expr) -> CondOperand:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, FieldRef):
+            if len(expr.parts) == 1 and expr.parts[0] in env.consts:
+                return env.consts[expr.parts[0]]
+            if env.is_metadata_ref(expr):
+                raise CompilerError(
+                    "standard_metadata fields cannot appear in conditions "
+                    "on this target", expr.line)
+            return env.resolve_field(expr)
+        raise CompilerError("conditions must compare fields/constants",
+                            getattr(expr, "line", 0))
+
+    return IRCondition(op=cond.op, left=operand(cond.left),
+                       right=operand(cond.right), line=cond.line)
+
+
+def _lower_apply(env: Env, body, tables_out: List[IRTable],
+                 predicate: Optional[IRCondition],
+                 predicate_value: bool, depth: int) -> None:
+    for stmt in body:
+        if isinstance(stmt, TableApply):
+            decl = env.tables[stmt.table_name]
+            key_fields = [env.resolve_field(k.field) for k in decl.keys]
+            match_kind = decl.keys[0].match_kind
+            tables_out.append(IRTable(
+                name=decl.name, key_fields=key_fields,
+                action_names=list(decl.action_names), size=decl.size,
+                match_kind=match_kind, predicate=predicate,
+                predicate_value=predicate_value,
+                default_action=decl.default_action, line=decl.line))
+        elif isinstance(stmt, IfStmt):
+            if depth >= 1:
+                raise CompilerError(
+                    "nested if is not supported: each stage evaluates one "
+                    "predicate", stmt.line)
+            cond = _lower_condition(env, stmt.condition)
+            _lower_apply(env, stmt.then_body, tables_out, cond, True,
+                         depth + 1)
+            _lower_apply(env, stmt.else_body, tables_out, cond, False,
+                         depth + 1)
+
+
+def lower(env: Env) -> ModuleIR:
+    """Lower a typed module to IR."""
+    program = env.program
+    control: ControlDecl = program.control
+
+    actions: Dict[str, IRAction] = {}
+    for decl in control.actions:
+        params = {}
+        for p in decl.params:
+            width = int(p.type_name[4:-1])
+            if width > 16:
+                raise CompilerError(
+                    f"action parameter {p.name!r} is {width} bits; VLIW "
+                    f"immediates are 16 bits", p.line)
+            params[p.name] = width
+        lowering = _ActionLowering(env, params)
+        for stmt in decl.body:
+            if isinstance(stmt, AssignStmt):
+                lowering.lower_assign(stmt)
+            else:
+                lowering.lower_primitive(stmt)
+        actions[decl.name] = IRAction(
+            name=decl.name, params=list(params.items()), ops=lowering.ops,
+            line=decl.line)
+
+    tables: List[IRTable] = []
+    _lower_apply(env, control.apply_body, tables, None, True, 0)
+
+    ir = ModuleIR(name=program.source_name, env=env, tables=tables,
+                  actions=actions,
+                  registers=dict(env.registers))
+
+    # Collect field usage for PHV allocation and deparsing.
+    for table in tables:
+        for info in table.key_fields:
+            ir.fields_used.add(info.dotted)
+        if table.predicate is not None:
+            for side in (table.predicate.left, table.predicate.right):
+                if isinstance(side, FieldInfo):
+                    ir.fields_used.add(side.dotted)
+    for action in actions.values():
+        for op in action.ops:
+            for dotted in (op.dest, op.src1, op.src2):
+                if dotted is not None:
+                    ir.fields_used.add(dotted)
+            if op.dest is not None and op.kind not in ("store",):
+                if op.kind not in METADATA_OPS:
+                    ir.fields_written.add(op.dest)
+    return ir

@@ -1,0 +1,146 @@
+"""Tokenizer for the P4-16 subset.
+
+Recognizes identifiers, decimal and hexadecimal integers (including P4
+width-prefixed literals like ``8w42`` and ``0x1F``), punctuation,
+operators, and keywords; skips ``//`` and ``/* */`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator, List
+
+from ..errors import LexerError
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    NUMBER = auto()
+    KEYWORD = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+KEYWORDS = {
+    "header", "struct", "parser", "control", "state", "transition",
+    "select", "default", "table", "key", "actions", "action", "size",
+    "apply", "if", "else", "exact", "ternary", "register", "bit",
+    "in", "out", "inout", "const", "typedef", "accept", "reject",
+    "default_action", "true", "false", "packet_in", "return", "exit",
+}
+
+#: Multi-character punctuation, longest first.
+PUNCT2 = ["==", "!=", ">=", "<=", "&&", "||"]
+PUNCT1 = list("{}()[]<>;:,.=+-*/!&|")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.value!r}, L{self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize P4 source; raises :class:`LexerError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+
+        # whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexerError("unterminated block comment", line, col)
+            advance(end + 2 - i)
+            continue
+
+        start_line, start_col = line, col
+
+        # numbers: hex, width-prefixed (8w255, 4w0x3), decimal
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            tokens.append(Token(TokenKind.NUMBER, text, start_line, start_col))
+            advance(j - i)
+            continue
+
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            advance(j - i)
+            continue
+
+        # punctuation
+        matched = False
+        for p in PUNCT2:
+            if source.startswith(p, i):
+                tokens.append(Token(TokenKind.PUNCT, p, start_line, start_col))
+                advance(len(p))
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCT1:
+            tokens.append(Token(TokenKind.PUNCT, ch, start_line, start_col))
+            advance(1)
+            continue
+
+        raise LexerError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens
+
+
+def parse_number(token: Token) -> int:
+    """Evaluate a NUMBER token: ``42``, ``0x2A``, ``8w42``, ``16w0xF1F2``."""
+    text = token.value
+    if "w" in text:
+        # width-prefixed literal: the width part is validated elsewhere
+        _width, _, rest = text.partition("w")
+        text = rest
+    try:
+        if text.lower().startswith("0x"):
+            return int(text, 16)
+        if text.lower().startswith("0b"):
+            return int(text, 2)
+        return int(text, 10)
+    except ValueError as exc:
+        raise LexerError(f"bad number literal {token.value!r}",
+                         token.line, token.column) from exc

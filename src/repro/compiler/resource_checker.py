@@ -1,0 +1,89 @@
+"""Resource usage checking (§3.4).
+
+Menshen checks allocations *statically*: reassigning a resource from one
+module to another would disrupt both, so a module whose requirements
+cannot be met is simply not admitted (admission control). This module
+computes a compiled module's resource demand and validates it against
+either the raw hardware limits or an operator-granted allowance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ResourceError
+from ..rmt.params import HardwareParams
+from .backend import CompiledModule
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """A module's demand, in the units policies reason about."""
+
+    match_entries: int        #: total CAM rows across stages
+    stateful_words: int       #: total stateful words across stages
+    num_tables: int
+    parse_actions: int
+    containers: int           #: PHV containers beyond shared ones
+
+    @classmethod
+    def of(cls, module: CompiledModule) -> "ResourceRequest":
+        usage = module.resource_usage()
+        return cls(
+            match_entries=sum(usage["match_entries_by_stage"].values()),
+            stateful_words=sum(usage["stateful_words_by_stage"].values()),
+            num_tables=usage["num_tables"],
+            parse_actions=usage["parse_actions"],
+            containers=sum(usage["containers"].values()),
+        )
+
+
+def check_against_hardware(module: CompiledModule,
+                           params: HardwareParams) -> None:
+    """Validate the module fits the raw hardware dimensions.
+
+    (The allocator already guarantees most of these; this re-validation
+    is the backstop the paper's resource checker provides, and it also
+    covers artifacts constructed without the allocator.)
+    """
+    usage = module.resource_usage()
+    if usage["parse_actions"] > params.parse_actions_per_entry:
+        raise ResourceError(
+            f"{usage['parse_actions']} parse actions exceed the parser's "
+            f"{params.parse_actions_per_entry}")
+    for cls_name, count in usage["containers"].items():
+        if count > params.containers_per_type:
+            raise ResourceError(
+                f"{count} {cls_name} containers exceed the PHV's "
+                f"{params.containers_per_type}")
+    for stage, entries in usage["match_entries_by_stage"].items():
+        if entries > params.match_entries_per_stage:
+            raise ResourceError(
+                f"stage {stage}: {entries} match entries exceed the CAM "
+                f"depth {params.match_entries_per_stage}")
+    for stage, words in usage["stateful_words_by_stage"].items():
+        if words > params.stateful_words_per_stage:
+            raise ResourceError(
+                f"stage {stage}: {words} stateful words exceed the "
+                f"memory's {params.stateful_words_per_stage}")
+    for stage in usage["stages"]:
+        if not 0 <= stage < params.num_stages:
+            raise ResourceError(f"stage {stage} does not exist")
+
+
+def check_against_grant(module: CompiledModule,
+                        granted_match_entries: Optional[int] = None,
+                        granted_stateful_words: Optional[int] = None) -> None:
+    """Validate the module stays within an operator-granted allowance."""
+    request = ResourceRequest.of(module)
+    if (granted_match_entries is not None
+            and request.match_entries > granted_match_entries):
+        raise ResourceError(
+            f"module needs {request.match_entries} match entries but was "
+            f"granted {granted_match_entries}")
+    if (granted_stateful_words is not None
+            and request.stateful_words > granted_stateful_words):
+        raise ResourceError(
+            f"module needs {request.stateful_words} stateful words but was "
+            f"granted {granted_stateful_words}")

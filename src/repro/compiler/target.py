@@ -1,0 +1,110 @@
+"""Compilation target description.
+
+A :class:`TargetDescription` tells the compiler which absolute pipeline
+stages a module may occupy and which PHV containers are already spoken
+for. Two standard targets exist:
+
+* the **system target**: first and last stage (§3.3's sandwich), all
+  containers free — the system module allocates first;
+* the **user target**: the middle stages, with the system module's
+  containers reserved so shared fields (e.g. ``hdr.ipv4.dstAddr``) land
+  in the *same* container for every module.
+
+One 2-byte container (B2[7] by default) is reserved as the **zero
+container**: it is never parsed or written, so it always reads 0 — the
+operand used for pure-immediate addressing (see ``repro.rmt.action``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..rmt.params import DEFAULT_PARAMS, HardwareParams
+from ..rmt.phv import ContainerRef, ContainerType
+
+#: Shared-field identity: (absolute byte offset, width bits).
+SharedFieldKey = Tuple[int, int]
+
+
+@dataclass
+class TargetDescription:
+    """What the compiler may use for one module."""
+
+    params: HardwareParams = DEFAULT_PARAMS
+    #: Absolute stages available, in apply order (one table per stage).
+    stage_map: List[int] = field(default_factory=lambda: [0, 1, 2, 3, 4])
+    #: Containers pre-bound to shared fields: (offset, width) -> ref.
+    shared_fields: Dict[SharedFieldKey, ContainerRef] = field(
+        default_factory=dict)
+    #: Containers a module may not allocate (beyond shared ones).
+    reserved_containers: List[ContainerRef] = field(default_factory=list)
+    #: The always-zero operand container.
+    zero_container: ContainerRef = field(
+        default_factory=lambda: ContainerRef(ContainerType.B2, 7))
+    #: Parse actions of shared fields, merged into every module's parse
+    #: program: (byte offset, container).
+    shared_parse_fields: List[Tuple[int, ContainerRef]] = field(
+        default_factory=list)
+    #: Fields the system module *writes* (e.g. vIP -> pIP rewrites); every
+    #: module's deparse program must write these back: (offset, container).
+    shared_deparse_fields: List[Tuple[int, ContainerRef]] = field(
+        default_factory=list)
+
+    def unavailable_containers(self) -> List[ContainerRef]:
+        """Containers the allocator must skip."""
+        taken = list(self.shared_fields.values())
+        taken.extend(self.reserved_containers)
+        taken.append(self.zero_container)
+        return taken
+
+    def with_system_reservations(
+            self, system_alloc: Dict[str, ContainerRef],
+            system_fields: Dict[str, "object"],
+            system_written: Optional[List[str]] = None,
+    ) -> "TargetDescription":
+        """Derive the user target from a compiled system module.
+
+        ``system_alloc`` maps the system module's dotted field names to
+        containers; ``system_fields`` maps them to their
+        :class:`~repro.compiler.typecheck.FieldInfo` so shared identity
+        (offset, width) can be computed; ``system_written`` lists the
+        dotted fields the system module writes (their containers must be
+        deparsed by every module).
+        """
+        shared: Dict[SharedFieldKey, ContainerRef] = {}
+        parse_fields: List[Tuple[int, ContainerRef]] = []
+        deparse_fields: List[Tuple[int, ContainerRef]] = []
+        for dotted, ref in system_alloc.items():
+            info = system_fields[dotted]
+            shared[(info.byte_offset, info.width_bits)] = ref
+            parse_fields.append((info.byte_offset, ref))
+            if system_written and dotted in system_written:
+                deparse_fields.append((info.byte_offset, ref))
+        stages = list(range(1, self.params.num_stages - 1))
+        return TargetDescription(
+            params=self.params,
+            stage_map=stages,
+            shared_fields=shared,
+            reserved_containers=list(self.reserved_containers),
+            zero_container=self.zero_container,
+            shared_parse_fields=sorted(parse_fields),
+            shared_deparse_fields=sorted(deparse_fields),
+        )
+
+
+#: Whole-pipeline target (single module, no system module).
+DEFAULT_TARGET = TargetDescription()
+
+
+def system_target(params: HardwareParams = DEFAULT_PARAMS) -> TargetDescription:
+    """Target for the system-level module: first and last stage."""
+    return TargetDescription(params=params,
+                             stage_map=[0, params.num_stages - 1])
+
+
+def user_target(params: HardwareParams = DEFAULT_PARAMS) -> TargetDescription:
+    """Target for user modules when no system module is loaded: all but
+    first/last stage are NOT reserved — user gets every stage."""
+    return TargetDescription(params=params,
+                             stage_map=list(range(params.num_stages)))

@@ -1,0 +1,356 @@
+"""Name resolution, offset computation, and width checking.
+
+Builds the typed environment (:class:`Env`) later passes work from:
+
+* header instances (``hdr.ipv4``) resolved through the headers struct,
+* the parser linearized into an extraction order (the Menshen hardware
+  parser is branch-free per module; ``select`` transitions are accepted
+  but must resolve to a single static path),
+* absolute byte offsets for every extracted header and field,
+* registers, actions, and tables indexed by name, with their references
+  validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import TypeCheckError
+from .ast_nodes import (
+    ActionDecl,
+    BinOp,
+    Const,
+    ControlDecl,
+    Expr,
+    FieldRef,
+    HeaderDecl,
+    Program,
+    RegisterDecl,
+    TableDecl,
+)
+
+#: standard_metadata fields: name -> (width_bits, writable)
+STANDARD_METADATA_FIELDS: Dict[str, Tuple[int, bool]] = {
+    "egress_spec": (16, True),
+    "mcast_grp": (16, True),
+    "ingress_port": (16, False),
+    "packet_length": (16, False),
+    "enq_timestamp": (32, False),
+    "deq_timedelta": (32, False),
+    "link_utilization": (32, False),
+    "queue_length": (32, False),
+}
+
+#: Parameter names conventionally bound to the headers struct and the
+#: standard metadata in control/parser signatures.
+METADATA_PARAM_TYPE = "standard_metadata_t"
+
+
+@dataclass(frozen=True)
+class FieldInfo:
+    """A resolved header field with absolute packet placement."""
+
+    dotted: str          #: e.g. "hdr.ipv4.dstAddr"
+    instance: str        #: e.g. "hdr.ipv4"
+    name: str            #: e.g. "dstAddr"
+    bit_offset: int      #: absolute offset from packet byte 0, in bits
+    width_bits: int
+
+    @property
+    def byte_aligned(self) -> bool:
+        return self.bit_offset % 8 == 0
+
+    @property
+    def byte_offset(self) -> int:
+        return self.bit_offset // 8
+
+    @property
+    def width_bytes(self) -> int:
+        return (self.width_bits + 7) // 8
+
+    @property
+    def container_mappable(self) -> bool:
+        """Whether the target can carry this field in a PHV container."""
+        return self.byte_aligned and self.width_bits in (16, 32, 48)
+
+
+@dataclass
+class Env:
+    """Typed environment of one module."""
+
+    program: Program
+    headers_param: str                      #: e.g. "hdr"
+    extract_order: List[str] = field(default_factory=list)
+    header_offsets: Dict[str, int] = field(default_factory=dict)  # bytes
+    fields: Dict[str, FieldInfo] = field(default_factory=dict)
+    registers: Dict[str, RegisterDecl] = field(default_factory=dict)
+    actions: Dict[str, ActionDecl] = field(default_factory=dict)
+    tables: Dict[str, TableDecl] = field(default_factory=dict)
+    consts: Dict[str, int] = field(default_factory=dict)
+
+    def resolve_field(self, ref: FieldRef) -> FieldInfo:
+        info = self.fields.get(ref.dotted)
+        if info is None:
+            raise TypeCheckError(f"unknown field {ref.dotted!r}", ref.line)
+        return info
+
+    def is_metadata_ref(self, ref: FieldRef) -> bool:
+        return len(ref.parts) == 2 and ref.parts[0] == "standard_metadata"
+
+    def metadata_field(self, ref: FieldRef) -> Tuple[str, int, bool]:
+        """Return (name, width, writable) of a standard_metadata field."""
+        name = ref.parts[1]
+        if name not in STANDARD_METADATA_FIELDS:
+            raise TypeCheckError(
+                f"unknown standard_metadata field {name!r}", ref.line)
+        width, writable = STANDARD_METADATA_FIELDS[name]
+        return name, width, writable
+
+
+def _linearize_parser(program: Program, env: Env) -> List[str]:
+    """Resolve the parser's states into a single static extract path.
+
+    Returns the ordered list of extracted header instance names. A
+    ``select`` is allowed only when all its non-default cases agree on
+    one next state (we follow it and treat the select as an assertion),
+    or when it only has a default case.
+    """
+    parser = program.parser
+    if parser is None:
+        raise TypeCheckError("module has no parser declaration")
+    states = {s.name: s for s in parser.states}
+    if "start" not in states:
+        raise TypeCheckError("parser has no 'start' state", parser.line)
+
+    order: List[str] = []
+    visited: Set[str] = set()
+    current = "start"
+    while current not in ("accept", "reject"):
+        if current in visited:
+            raise TypeCheckError(f"parser state loop through {current!r}",
+                                 parser.line)
+        visited.add(current)
+        state = states.get(current)
+        if state is None:
+            raise TypeCheckError(f"undefined parser state {current!r}",
+                                 parser.line)
+        for extract in state.extracts:
+            ref = extract.header_ref
+            if ref.parts[0] != env.headers_param:
+                raise TypeCheckError(
+                    f"extract target {ref.dotted!r} is not a member of the "
+                    f"headers struct {env.headers_param!r}", extract.line)
+            order.append(ref.dotted)
+        tr = state.transition
+        if tr.next_state is not None:
+            current = tr.next_state
+            continue
+        nexts = {c.next_state for c in tr.cases if c.value is not None}
+        if len(nexts) == 1:
+            current = next(iter(nexts))
+        elif not nexts and tr.cases:
+            current = tr.cases[-1].next_state
+        else:
+            raise TypeCheckError(
+                "branching parser selects are not supported by the Menshen "
+                "hardware parser; all cases must lead to one state",
+                tr.line)
+    return order
+
+
+def _index_fields(program: Program, env: Env) -> None:
+    """Compute absolute bit offsets for every field of extracted headers."""
+    # Find the headers struct type to map instance -> header type.
+    instance_types: Dict[str, str] = {}
+    for struct in program.structs.values():
+        for member in struct.members:
+            if member.type_name in program.headers:
+                instance_types[f"{env.headers_param}.{member.name}"] = \
+                    member.type_name
+
+    offset_bytes = 0
+    for instance in env.extract_order:
+        type_name = instance_types.get(instance)
+        if type_name is None:
+            raise TypeCheckError(
+                f"extracted instance {instance!r} is not declared in the "
+                f"headers struct")
+        header = program.headers[type_name]
+        if header.width_bits % 8:
+            raise TypeCheckError(
+                f"header {type_name!r} is {header.width_bits} bits; headers "
+                f"must be whole bytes", header.line)
+        env.header_offsets[instance] = offset_bytes
+        bit_cursor = offset_bytes * 8
+        for fdecl in header.fields:
+            dotted = f"{instance}.{fdecl.name}"
+            env.fields[dotted] = FieldInfo(
+                dotted=dotted, instance=instance, name=fdecl.name,
+                bit_offset=bit_cursor, width_bits=fdecl.width_bits)
+            bit_cursor += fdecl.width_bits
+        offset_bytes += header.width_bytes
+
+
+def _check_expr(env: Env, expr: Expr, params: Dict[str, int]) -> None:
+    """Validate an expression's references (fields, params, consts)."""
+    if isinstance(expr, Const):
+        return
+    if isinstance(expr, FieldRef):
+        if len(expr.parts) == 1:
+            name = expr.parts[0]
+            if name in params or name in env.consts:
+                return
+            raise TypeCheckError(f"unknown name {name!r}", expr.line)
+        if env.is_metadata_ref(expr):
+            env.metadata_field(expr)
+            return
+        env.resolve_field(expr)
+        return
+    if isinstance(expr, BinOp):
+        _check_expr(env, expr.left, params)
+        _check_expr(env, expr.right, params)
+        return
+    raise TypeCheckError(f"unsupported expression {expr!r}")
+
+
+def _check_control(program: Program, env: Env) -> None:
+    control = program.control
+    if control is None:
+        raise TypeCheckError("module has no control declaration")
+
+    for reg in control.registers:
+        if reg.name in env.registers:
+            raise TypeCheckError(f"duplicate register {reg.name!r}", reg.line)
+        if reg.size <= 0:
+            raise TypeCheckError(f"register {reg.name!r} has size {reg.size}",
+                                 reg.line)
+        env.registers[reg.name] = reg
+
+    for action in control.actions:
+        if action.name in env.actions:
+            raise TypeCheckError(f"duplicate action {action.name!r}",
+                                 action.line)
+        params = {p.name: _param_width(p) for p in action.params}
+        from .ast_nodes import AssignStmt, PrimitiveCall
+        for stmt in action.body:
+            if isinstance(stmt, AssignStmt):
+                if env.is_metadata_ref(stmt.target):
+                    env.metadata_field(stmt.target)
+                elif len(stmt.target.parts) == 1:
+                    raise TypeCheckError(
+                        f"cannot assign to parameter "
+                        f"{stmt.target.dotted!r}", stmt.line)
+                else:
+                    env.resolve_field(stmt.target)
+                _check_expr(env, stmt.expr, params)
+            elif isinstance(stmt, PrimitiveCall):
+                _check_primitive(env, stmt, params)
+        env.actions[action.name] = action
+
+    for table in control.tables:
+        if table.name in env.tables:
+            raise TypeCheckError(f"duplicate table {table.name!r}",
+                                 table.line)
+        if not table.keys:
+            raise TypeCheckError(f"table {table.name!r} has no key",
+                                 table.line)
+        for key in table.keys:
+            if env.is_metadata_ref(key.field):
+                raise TypeCheckError(
+                    "standard_metadata fields cannot be match keys on this "
+                    "target (keys are built from PHV data containers)",
+                    key.line)
+            info = env.resolve_field(key.field)
+            if not info.container_mappable:
+                raise TypeCheckError(
+                    f"key field {info.dotted!r} ({info.width_bits} bits at "
+                    f"bit {info.bit_offset}) cannot map to a 2/4/6-byte "
+                    f"container", key.line)
+        for name in table.action_names:
+            if name not in env.actions:
+                raise TypeCheckError(
+                    f"table {table.name!r} references unknown action "
+                    f"{name!r}", table.line)
+        if table.default_action and table.default_action not in env.actions:
+            raise TypeCheckError(
+                f"table {table.name!r} default_action "
+                f"{table.default_action!r} is unknown", table.line)
+        if table.size <= 0:
+            raise TypeCheckError(
+                f"table {table.name!r} must declare a positive size",
+                table.line)
+        env.tables[table.name] = table
+
+    _check_apply(env, control.apply_body)
+
+
+def _check_apply(env: Env, body) -> None:
+    from .ast_nodes import IfStmt, TableApply
+    for stmt in body:
+        if isinstance(stmt, TableApply):
+            if stmt.table_name not in env.tables:
+                raise TypeCheckError(
+                    f"apply of unknown table {stmt.table_name!r}", stmt.line)
+        elif isinstance(stmt, IfStmt):
+            _check_expr(env, stmt.condition, {})
+            _check_apply(env, stmt.then_body)
+            _check_apply(env, stmt.else_body)
+
+
+_KNOWN_PRIMITIVES = {"mark_to_drop", "read", "write", "loadd",
+                     "recirculate", "resubmit", "clone"}
+
+
+def _check_primitive(env: Env, call, params: Dict[str, int]) -> None:
+    name = call.target.parts[-1]
+    if name not in _KNOWN_PRIMITIVES:
+        raise TypeCheckError(f"unknown primitive {name!r}", call.line)
+    if name == "mark_to_drop":
+        return  # optional standard_metadata arg is ignored
+    if name in ("recirculate", "resubmit", "clone"):
+        # Recognized so the static checker can reject them with a clear
+        # message (§3.4 forbids recirculation).
+        return
+    # register ops: reg.read(dst, addr) / reg.write(addr, src) / reg.loadd(dst, addr)
+    if len(call.target.parts) != 2:
+        raise TypeCheckError(
+            f"register primitive needs the form reg.{name}(...)", call.line)
+    reg_name = call.target.parts[0]
+    if reg_name not in env.registers:
+        raise TypeCheckError(f"unknown register {reg_name!r}", call.line)
+    if len(call.args) != 2:
+        raise TypeCheckError(
+            f"{reg_name}.{name}(...) needs exactly 2 arguments", call.line)
+    for arg in call.args:
+        _check_expr(env, arg, params)
+
+
+def _param_width(param) -> int:
+    type_name = param.type_name
+    if type_name.startswith("bit<") and type_name.endswith(">"):
+        return int(type_name[4:-1])
+    raise TypeCheckError(
+        f"action parameter {param.name!r} must have a bit<N> type",
+        param.line)
+
+
+def typecheck(program: Program) -> Env:
+    """Run all checks; returns the typed environment."""
+    # Identify the headers parameter name from the parser signature
+    # (conventionally "hdr": the out-parameter with a struct type).
+    headers_param = "hdr"
+    if program.parser is not None:
+        for p in program.parser.params:
+            if p.type_name in program.structs:
+                headers_param = p.name
+                break
+
+    env = Env(program=program, headers_param=headers_param)
+    env.consts = {c.name: c.value for c in program.consts.values()}
+    env.extract_order = _linearize_parser(program, env)
+    if not env.extract_order:
+        raise TypeCheckError("parser extracts no headers")
+    _index_fields(program, env)
+    _check_control(program, env)
+    return env

@@ -1,0 +1,45 @@
+"""Menshen's isolation layer on top of the RMT substrate.
+
+This package contains the paper's contribution (§3): per-module overlay
+configuration tables, the segment table for stateful-memory space
+partitioning, the packet filter with its reconfiguration bitmap and
+counter, reconfiguration packets, the daisy-chain configuration bus,
+the partition ledger that enforces resource isolation, and the
+:class:`~repro.core.pipeline.MenshenPipeline` assembling it all.
+"""
+
+from .overlay import OverlayTable
+from .segment_table import SegmentTable, SegmentedAccess
+from .packet_filter import PacketFilter, PacketClass
+from .reconfig import (
+    ResourceType,
+    ResourceId,
+    ReconfigPayload,
+    build_reconfig_packet,
+    parse_reconfig_packet,
+    entry_payload_bytes,
+)
+from .daisy_chain import DaisyChain
+from .resources import ModuleAllocation, PartitionLedger
+from .stats import PipelineStats
+from .pipeline import MenshenPipeline, SYSTEM_MODULE_ID
+
+__all__ = [
+    "OverlayTable",
+    "SegmentTable",
+    "SegmentedAccess",
+    "PacketFilter",
+    "PacketClass",
+    "ResourceType",
+    "ResourceId",
+    "ReconfigPayload",
+    "build_reconfig_packet",
+    "parse_reconfig_packet",
+    "entry_payload_bytes",
+    "DaisyChain",
+    "ModuleAllocation",
+    "PartitionLedger",
+    "PipelineStats",
+    "MenshenPipeline",
+    "SYSTEM_MODULE_ID",
+]

@@ -1,0 +1,135 @@
+"""Packet filter: ingress classification and reconfiguration safety (§3.1, §4.1).
+
+The filter sits before the parser and
+
+* discards packets without a VLAN tag (control packets such as BFD can
+  instead be diverted to the control plane),
+* recognizes reconfiguration packets by their UDP destination port
+  (0xf1f2) so data packets can never reach the configuration path,
+* holds the two software-visible registers used during reconfiguration:
+  a 4-byte **reconfiguration packet counter** (increments when a
+  reconfiguration packet passes through the daisy chain) and a 32-bit
+  **bitmap** of modules currently being updated — data packets of a
+  module whose bit is set are dropped so in-flight packets never meet a
+  half-written configuration,
+* tags packets round-robin with a packet-buffer number (0-3) and a
+  parser number (0-1) for the §3.2 optimized datapath.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..errors import ConfigError
+from ..net.ethernet import ETHERTYPE_VLAN
+from ..net.packet import Packet
+from ..net.udp_ import MENSHEN_RECONFIG_DPORT
+
+#: Byte offsets inside an Ethernet+802.1Q+IPv4+UDP frame.
+_ETHERTYPE_OFFSET = 12
+_VLAN_TCI_OFFSET = 14
+_IP_PROTO_OFFSET = 18 + 9
+_UDP_DPORT_OFFSET = 18 + 20 + 2
+
+COUNTER_BITS = 32
+BITMAP_BITS = 32
+
+
+class PacketClass(Enum):
+    """Filter verdicts."""
+
+    DATA = "data"                  #: VLAN-tagged tenant packet
+    RECONFIG = "reconfig"          #: daisy-chain configuration packet
+    CONTROL = "control"            #: untagged (e.g. BFD) -> control plane
+    DROP_UPDATING = "drop_updating"  #: module bit set in the bitmap
+
+
+class PacketFilter:
+    """Classifies ingress packets and guards reconfiguration."""
+
+    def __init__(self, num_buffers: int = 4, num_parsers: int = 2):
+        if num_buffers < 1 or num_buffers > 4:
+            raise ConfigError("packet filter supports 1-4 packet buffers")
+        self.num_buffers = num_buffers
+        self.num_parsers = num_parsers
+        self.reconfig_counter = 0     #: 4-byte wrap-around counter
+        self.update_bitmap = 0        #: 32-bit module-under-update bitmap
+        self._next_buffer = 0
+        self._next_parser = 0
+        self.data_packets = 0
+        self.reconfig_packets = 0
+        self.dropped_untagged = 0
+        self.dropped_updating = 0
+
+    # -- register file (AXI-Lite accessible, §4.1) --------------------------
+
+    def read_counter(self) -> int:
+        return self.reconfig_counter
+
+    def write_bitmap(self, bitmap: int) -> None:
+        if not 0 <= bitmap < (1 << BITMAP_BITS):
+            raise ConfigError(f"bitmap {bitmap:#x} exceeds 32 bits")
+        self.update_bitmap = bitmap
+
+    def read_bitmap(self) -> int:
+        return self.update_bitmap
+
+    def set_module_updating(self, module_id: int) -> None:
+        if not 0 <= module_id < BITMAP_BITS:
+            raise ConfigError(f"module id {module_id} exceeds bitmap width")
+        self.update_bitmap |= (1 << module_id)
+
+    def clear_module_updating(self, module_id: int) -> None:
+        if not 0 <= module_id < BITMAP_BITS:
+            raise ConfigError(f"module id {module_id} exceeds bitmap width")
+        self.update_bitmap &= ~(1 << module_id)
+
+    def is_module_updating(self, module_id: int) -> bool:
+        return bool(self.update_bitmap >> module_id & 1)
+
+    def count_reconfig_packet(self) -> None:
+        """Called by the daisy chain when a packet passes through."""
+        self.reconfig_counter = (self.reconfig_counter + 1) % (1 << COUNTER_BITS)
+
+    # -- classification ----------------------------------------------------------
+
+    @staticmethod
+    def is_reconfig_packet(packet: Packet) -> bool:
+        """UDP destination port == 0xf1f2 (a simple combinational check)."""
+        if len(packet) < _UDP_DPORT_OFFSET + 2:
+            return False
+        if packet.read_int(_ETHERTYPE_OFFSET, 2) != ETHERTYPE_VLAN:
+            return False
+        if packet.read_int(_IP_PROTO_OFFSET, 1) != 17:
+            return False
+        return packet.read_int(_UDP_DPORT_OFFSET, 2) == MENSHEN_RECONFIG_DPORT
+
+    def classify(self, packet: Packet) -> PacketClass:
+        """Classify one ingress packet, updating filter statistics."""
+        if self.is_reconfig_packet(packet):
+            self.reconfig_packets += 1
+            return PacketClass.RECONFIG
+        if (len(packet) < _VLAN_TCI_OFFSET + 2
+                or packet.read_int(_ETHERTYPE_OFFSET, 2) != ETHERTYPE_VLAN):
+            self.dropped_untagged += 1
+            return PacketClass.CONTROL
+        vid = packet.read_int(_VLAN_TCI_OFFSET, 2) & 0xFFF
+        if vid < BITMAP_BITS and self.is_module_updating(vid):
+            self.dropped_updating += 1
+            return PacketClass.DROP_UPDATING
+        self.data_packets += 1
+        return PacketClass.DATA
+
+    # -- §3.2 optimization tags ----------------------------------------------
+
+    def assign_buffer(self) -> int:
+        """Round-robin packet-buffer tag (one-hot encoded in metadata)."""
+        tag = self._next_buffer
+        self._next_buffer = (self._next_buffer + 1) % self.num_buffers
+        return tag
+
+    def assign_parser(self) -> int:
+        """Round-robin parser assignment (0 or 1)."""
+        parser = self._next_parser
+        self._next_parser = (self._next_parser + 1) % self.num_parsers
+        return parser

@@ -1,0 +1,162 @@
+"""Reconfiguration packets (Fig. 7): the only way to write pipeline config.
+
+A reconfiguration packet is a normal UDP packet (destination port
+0xf1f2) whose payload addresses one configuration row:
+
+====================  ======  =============================================
+field                 size    meaning
+====================  ======  =============================================
+common header         46 B    Ethernet + VLAN + IPv4 + UDP
+resource ID           12 b    which resource in which stage (see below)
+reserved              4 b     —
+index                 1 B     row within the resource's table
+padding               15 B    —
+payload               varies  the entry bytes (width per resource)
+====================  ======  =============================================
+
+The 12-bit resource ID encodes ``type(4b) | stage(8b)``; stage is 0 for
+the stage-less parser/deparser tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..errors import ReconfigurationError
+from ..net.builder import PacketBuilder
+from ..net.packet import Packet
+from ..net.udp_ import MENSHEN_RECONFIG_DPORT
+from ..rmt.params import DEFAULT_PARAMS, HardwareParams
+
+#: Offset of the reconfiguration payload within the packet (after the
+#: 46-byte common header).
+_PAYLOAD_OFFSET = 46
+_HEADER_LEN = 2 + 1 + 15  # resource-id word + index + padding
+
+
+class ResourceType(IntEnum):
+    """4-bit resource-type codes for the reconfiguration resource ID."""
+
+    PARSER_TABLE = 1
+    DEPARSER_TABLE = 2
+    KEY_EXTRACTOR = 3
+    KEY_MASK = 4
+    CAM = 5
+    VLIW = 6
+    SEGMENT = 7
+    CAM_INVALIDATE = 8   #: clears a CAM row (empty payload)
+    STATEFUL_WORD = 9    #: initializes one stateful-memory word
+    TCAM = 10            #: ternary entry: key | mask | module ID (App. B)
+    DEFAULT_VLIW = 11    #: per-module miss action (extension)
+
+
+def entry_payload_bytes(rtype: ResourceType,
+                        params: HardwareParams = DEFAULT_PARAMS) -> int:
+    """Payload width in bytes for each resource type."""
+    widths_bits = {
+        ResourceType.PARSER_TABLE: params.parser_entry_bits,
+        ResourceType.DEPARSER_TABLE: params.parser_entry_bits,
+        ResourceType.KEY_EXTRACTOR: params.key_extractor_entry_bits,
+        ResourceType.KEY_MASK: params.key_bits,
+        ResourceType.CAM: params.cam_entry_bits,
+        ResourceType.VLIW: params.vliw_entry_bits,
+        ResourceType.SEGMENT: params.segment_entry_bits,
+        ResourceType.CAM_INVALIDATE: 0,
+        ResourceType.STATEFUL_WORD: params.stateful_word_bits,
+        ResourceType.TCAM: 2 * params.key_bits + params.module_id_bits,
+        ResourceType.DEFAULT_VLIW: params.vliw_entry_bits,
+    }
+    return (widths_bits[rtype] + 7) // 8
+
+
+@dataclass(frozen=True)
+class ResourceId:
+    """Decoded 12-bit resource ID: resource type + stage number."""
+
+    rtype: ResourceType
+    stage: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.stage < 256:
+            raise ReconfigurationError(f"stage {self.stage} exceeds 8 bits")
+
+    def encode(self) -> int:
+        return (int(self.rtype) << 8) | self.stage
+
+    @classmethod
+    def decode(cls, value: int) -> "ResourceId":
+        if not 0 <= value < (1 << 12):
+            raise ReconfigurationError(
+                f"resource id {value:#x} exceeds 12 bits")
+        try:
+            rtype = ResourceType(value >> 8)
+        except ValueError as exc:
+            raise ReconfigurationError(
+                f"unknown resource type {value >> 8}") from exc
+        return cls(rtype=rtype, stage=value & 0xFF)
+
+
+@dataclass(frozen=True)
+class ReconfigPayload:
+    """Decoded reconfiguration request."""
+
+    resource: ResourceId
+    index: int
+    entry: int  #: the configuration word (width per resource type)
+
+
+def build_reconfig_packet(resource: ResourceId, index: int, entry: int,
+                          params: HardwareParams = DEFAULT_PARAMS,
+                          vid: int = 0) -> Packet:
+    """Serialize a configuration write into a reconfiguration packet."""
+    if not 0 <= index < 256:
+        raise ReconfigurationError(f"index {index} exceeds 1 byte")
+    nbytes = entry_payload_bytes(resource.rtype, params)
+    if entry < 0 or (nbytes and entry >= (1 << (8 * nbytes))):
+        raise ReconfigurationError(
+            f"entry {entry:#x} does not fit {nbytes} payload bytes for "
+            f"{resource.rtype.name}")
+    if nbytes == 0 and entry:
+        raise ReconfigurationError(
+            f"{resource.rtype.name} carries no payload, got entry {entry:#x}")
+
+    rid = resource.encode()
+    payload = bytearray()
+    payload += ((rid << 4).to_bytes(2, "big"))  # 12b id | 4b reserved
+    payload.append(index)
+    payload += b"\x00" * 15
+    if nbytes:
+        payload += entry.to_bytes(nbytes, "big")
+
+    return (PacketBuilder()
+            .ethernet(src="02:00:00:00:00:10", dst="02:00:00:00:00:11")
+            .vlan(vid=vid)
+            .ipv4(src="10.255.0.1", dst="10.255.0.2")
+            .udp(sport=0xF1F1, dport=MENSHEN_RECONFIG_DPORT)
+            .payload(bytes(payload))
+            .build())
+
+
+def parse_reconfig_packet(packet: Packet,
+                          params: HardwareParams = DEFAULT_PARAMS
+                          ) -> ReconfigPayload:
+    """Decode a reconfiguration packet back into a config write."""
+    if len(packet) < _PAYLOAD_OFFSET + _HEADER_LEN:
+        raise ReconfigurationError("reconfiguration packet too short")
+    dport = packet.read_int(_PAYLOAD_OFFSET - 6, 2)
+    if dport != MENSHEN_RECONFIG_DPORT:
+        raise ReconfigurationError(
+            f"not a reconfiguration packet (dport {dport:#x})")
+    word = packet.read_int(_PAYLOAD_OFFSET, 2)
+    resource = ResourceId.decode(word >> 4)
+    index = packet.read_int(_PAYLOAD_OFFSET + 2, 1)
+    nbytes = entry_payload_bytes(resource.rtype, params)
+    entry = 0
+    if nbytes:
+        start = _PAYLOAD_OFFSET + _HEADER_LEN
+        if len(packet) < start + nbytes:
+            raise ReconfigurationError(
+                f"payload truncated: need {nbytes} entry bytes")
+        entry = packet.read_int(start, nbytes)
+    return ReconfigPayload(resource=resource, index=index, entry=entry)

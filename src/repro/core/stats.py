@@ -1,0 +1,61 @@
+"""Pipeline statistics: per-module counters and system-level telemetry.
+
+The system-level module (§3.3) exposes "common and useful real-time
+statistics (e.g., link utilization, queue length)" to tenant modules;
+this class is where those numbers live in the simulation. The static
+checker forbids modules from *writing* them (§3.4) — in the model they
+are simply not reachable from the data path.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class PipelineStats:
+    """Counters for a Menshen pipeline."""
+
+    def __init__(self) -> None:
+        self.packets_in = 0
+        self.packets_out = 0
+        self.packets_dropped = 0
+        self.reconfig_packets = 0
+        self.per_module_in: Dict[int, int] = defaultdict(int)
+        self.per_module_out: Dict[int, int] = defaultdict(int)
+        self.per_module_dropped: Dict[int, int] = defaultdict(int)
+        self.per_module_bytes_out: Dict[int, int] = defaultdict(int)
+        self.drop_reasons: Dict[str, int] = defaultdict(int)
+
+    def record_in(self, module_id: int) -> None:
+        self.packets_in += 1
+        self.per_module_in[module_id] += 1
+
+    def record_out(self, module_id: int, nbytes: int) -> None:
+        self.packets_out += 1
+        self.per_module_out[module_id] += 1
+        self.per_module_bytes_out[module_id] += nbytes
+
+    def record_drop(self, module_id: int, reason: str) -> None:
+        self.packets_dropped += 1
+        self.per_module_dropped[module_id] += 1
+        self.drop_reasons[reason] += 1
+
+    def record_reconfig(self) -> None:
+        self.reconfig_packets += 1
+
+    def link_utilization(self, module_id: int, elapsed_s: float,
+                         link_bps: float) -> float:
+        """Fraction of ``link_bps`` used by the module's output bytes."""
+        if elapsed_s <= 0 or link_bps <= 0:
+            return 0.0
+        return (self.per_module_bytes_out[module_id] * 8
+                / elapsed_s / link_bps)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "packets_in": self.packets_in,
+            "packets_out": self.packets_out,
+            "packets_dropped": self.packets_dropped,
+            "reconfig_packets": self.reconfig_packets,
+        }

@@ -1,0 +1,121 @@
+"""Exception hierarchy for the Menshen reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries. Sub-hierarchies mirror
+the major subsystems: packet crafting, the RMT/Menshen data plane, the
+compiler, the runtime interface, and resource policies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Packet / net substrate
+# ---------------------------------------------------------------------------
+
+class PacketError(ReproError):
+    """Malformed packet bytes or invalid header field values."""
+
+
+class TruncatedPacketError(PacketError):
+    """A header view extends past the end of the packet buffer."""
+
+
+class FieldRangeError(PacketError):
+    """A header field was assigned a value outside its bit width."""
+
+
+# ---------------------------------------------------------------------------
+# RMT / Menshen data plane
+# ---------------------------------------------------------------------------
+
+class DataPlaneError(ReproError):
+    """Base class for errors in the behavioral pipeline."""
+
+
+class EncodingError(DataPlaneError):
+    """A configuration entry failed bit-level encoding or decoding."""
+
+
+class ConfigError(DataPlaneError):
+    """A configuration write targeted an invalid table, index, or width."""
+
+
+class IsolationViolationError(DataPlaneError):
+    """An operation would have crossed a module isolation boundary.
+
+    Raised, e.g., when a stateful-memory access falls outside the module's
+    segment-table range, or when a config write would touch another
+    module's partition. In real hardware these are silently prevented;
+    the simulator raises so tests can assert the guard fired.
+    """
+
+
+class SegmentFaultError(IsolationViolationError):
+    """A per-module stateful-memory address exceeded the module's range."""
+
+
+class ReconfigurationError(DataPlaneError):
+    """The reconfiguration protocol was violated or a packet was rejected."""
+
+
+# ---------------------------------------------------------------------------
+# Compiler
+# ---------------------------------------------------------------------------
+
+class CompilerError(ReproError):
+    """Base class for compiler errors; carries source location if known."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class LexerError(CompilerError):
+    """Unrecognized character or malformed token in P4 source."""
+
+
+class ParseError(CompilerError):
+    """P4 source does not conform to the supported grammar subset."""
+
+
+class TypeCheckError(CompilerError):
+    """A name is undefined, redefined, or used at the wrong type/width."""
+
+
+class StaticCheckError(CompilerError):
+    """Module violates a Menshen static-safety rule (VID write, stats
+    write, recirculation, or routing loop)."""
+
+
+class ResourceError(CompilerError):
+    """Module exceeds its allocated share of a pipeline resource."""
+
+
+class AllocationError(CompilerError):
+    """The compiler could not place tables into stages or fields into
+    PHV containers under the hardware constraints."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime / policy
+# ---------------------------------------------------------------------------
+
+class RuntimeInterfaceError(ReproError):
+    """Software-to-hardware interface misuse (unknown module/table, bad
+    entry, interface in the wrong protocol state)."""
+
+
+class AdmissionError(ReproError):
+    """A module's resource request was rejected by admission control."""
+
+
+class PolicyError(ReproError):
+    """A resource-sharing policy was configured inconsistently."""

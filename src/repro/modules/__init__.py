@@ -1,0 +1,41 @@
+"""The evaluated packet-processing modules (Table 3 of the paper).
+
+Eight P4-16 modules — six from the P4 tutorials plus simplified
+NetCache and NetChain — each packaged with its source, entry installers,
+traffic builders, and a reference behavioral model used by tests:
+
+========================  ===================================================
+module                    description (Table 3)
+========================  ===================================================
+:mod:`~repro.modules.calc`            return value based on parsed opcode and operands
+:mod:`~repro.modules.firewall`        stateless firewall that blocks certain traffic
+:mod:`~repro.modules.load_balancer`   steer traffic based on 4-tuple header info
+:mod:`~repro.modules.qos`             set QoS based on traffic type
+:mod:`~repro.modules.source_routing`  route packets based on parsed header info
+:mod:`~repro.modules.netcache`        in-network key-value store (simplified)
+:mod:`~repro.modules.netchain`        in-network sequencer (simplified)
+:mod:`~repro.modules.multicast`       multicast based on destination IP address
+========================  ===================================================
+
+Shared-field ABI: fields of the common headers that the system-level
+module also touches (the IPv4 destination address) are declared as two
+16-bit halves (``dstHi``/``dstLo``) so every module maps them onto the
+same PHV containers (§3.3's narrow interface).
+"""
+
+from .registry import ALL_MODULES, module_by_name
+from . import calc, firewall, load_balancer, qos, source_routing
+from . import netcache, netchain, multicast
+
+__all__ = [
+    "ALL_MODULES",
+    "module_by_name",
+    "calc",
+    "firewall",
+    "load_balancer",
+    "qos",
+    "source_routing",
+    "netcache",
+    "netchain",
+    "multicast",
+]

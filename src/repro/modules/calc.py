@@ -1,0 +1,84 @@
+"""CALC: return a value computed from a parsed opcode and operands.
+
+The P4-tutorial calculator: packets carry ``op | operand_a | operand_b |
+result``; the module matches the opcode and writes ``result``. ADD and
+SUB run on the ALUs; the table's egress action parameter bounces the
+answer to a configured port.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from .base import COMMON_HEADER_DECLS, common_packet, parser_chain, read_module_field
+
+NAME = "calc"
+
+OP_ADD = 1
+OP_SUB = 2
+OP_ECHO = 3
+
+P4_SOURCE = COMMON_HEADER_DECLS + """
+header calc_t {
+    bit<16> op;
+    bit<32> operand_a;
+    bit<32> operand_b;
+    bit<32> result;
+}
+struct headers_t {
+    ethernet_t ethernet; vlan_t vlan; ipv4_t ipv4; udp_t udp; calc_t calc;
+}
+""" + parser_chain("""
+    state parse_calc { packet.extract(hdr.calc); transition accept; }
+""", first_module_state="parse_calc", parser_name="CalcParser") + """
+control CalcIngress(inout headers_t hdr) {
+    action op_add(bit<16> port) {
+        hdr.calc.result = hdr.calc.operand_a + hdr.calc.operand_b;
+        standard_metadata.egress_spec = port;
+    }
+    action op_sub(bit<16> port) {
+        hdr.calc.result = hdr.calc.operand_a - hdr.calc.operand_b;
+        standard_metadata.egress_spec = port;
+    }
+    action op_echo() {
+        hdr.calc.result = hdr.calc.operand_a;
+    }
+    table calc_table {
+        key = { hdr.calc.op: exact; }
+        actions = { op_add; op_sub; op_echo; }
+        size = 4;
+    }
+    apply { calc_table.apply(); }
+}
+"""
+
+
+def install_entries(controller, module_id: int, port: int = 1) -> None:
+    """Install the standard opcode entries."""
+    controller.table_add(module_id, "calc_table",
+                         {"hdr.calc.op": OP_ADD}, "op_add", {"port": port})
+    controller.table_add(module_id, "calc_table",
+                         {"hdr.calc.op": OP_SUB}, "op_sub", {"port": port})
+    controller.table_add(module_id, "calc_table",
+                         {"hdr.calc.op": OP_ECHO}, "op_echo")
+
+
+def make_packet(vid: int, op: int, a: int, b: int, pad_to: int = 0) -> Packet:
+    payload = (op.to_bytes(2, "big") + a.to_bytes(4, "big")
+               + b.to_bytes(4, "big") + (0).to_bytes(4, "big"))
+    return common_packet(vid, payload, pad_to=pad_to)
+
+
+def read_result(packet: Packet) -> int:
+    """The 32-bit result field of an output packet."""
+    return read_module_field(packet, 10, 4)
+
+
+def reference_result(op: int, a: int, b: int) -> int:
+    """Golden model of the module's computation."""
+    if op == OP_ADD:
+        return (a + b) % (1 << 32)
+    if op == OP_SUB:
+        return (a - b) % (1 << 32)
+    if op == OP_ECHO:
+        return a
+    return 0  # unmatched opcodes leave result untouched (zero on input)

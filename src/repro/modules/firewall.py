@@ -1,0 +1,92 @@
+"""Firewall: stateless filter that blocks certain traffic.
+
+Matches (source IP, UDP destination port) pairs: blocked pairs are
+dropped, explicitly-allowed pairs are forwarded to a configured port.
+Unmatched traffic keeps the pipeline default (egress 0).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..net import Ipv4Address
+from ..net.packet import Packet
+from .base import COMMON_HEADER_DECLS, common_packet, parser_chain
+
+NAME = "firewall"
+
+P4_SOURCE = COMMON_HEADER_DECLS + """
+struct headers_t {
+    ethernet_t ethernet; vlan_t vlan; ipv4_t ipv4; udp_t udp;
+}
+""" + parser_chain(parser_name="FirewallParser") + """
+control FirewallIngress(inout headers_t hdr) {
+    action block() { mark_to_drop(); }
+    action allow(bit<16> port) { standard_metadata.egress_spec = port; }
+    table acl {
+        key = { hdr.ipv4.srcAddr: exact; hdr.udp.dstPort: exact; }
+        actions = { block; allow; }
+        size = 4;
+    }
+    apply { acl.apply(); }
+}
+"""
+
+
+#: Appendix-B variant: ternary (prefix) matching on the source address.
+#: Requires a pipeline constructed with ``match_mode="ternary"``.
+P4_SOURCE_TERNARY = P4_SOURCE.replace(
+    "hdr.ipv4.srcAddr: exact; hdr.udp.dstPort: exact;",
+    "hdr.ipv4.srcAddr: ternary; hdr.udp.dstPort: ternary;")
+
+
+def prefix_mask(prefix_len: int) -> int:
+    """A /prefix_len IPv4 mask as a 32-bit int."""
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"bad prefix length {prefix_len}")
+    return ((1 << prefix_len) - 1) << (32 - prefix_len) if prefix_len else 0
+
+
+def install_prefix_entries(controller, module_id: int,
+                           blocked_prefixes: Iterable[Tuple[str, int]] = (),
+                           default_port: int = 1) -> None:
+    """Ternary ACL: block (subnet, prefix_len) pairs, allow the rest.
+
+    Entries install in priority order (earlier = higher priority): the
+    specific block rules first, then a match-all allow.
+    """
+    from ..net import Ipv4Address
+    for subnet, plen in blocked_prefixes:
+        controller.table_add(
+            module_id, "acl",
+            {"hdr.ipv4.srcAddr": int(Ipv4Address(subnet)),
+             "hdr.udp.dstPort": 0},
+            "block",
+            key_masks={"hdr.ipv4.srcAddr": prefix_mask(plen),
+                       "hdr.udp.dstPort": 0})
+    controller.table_add(
+        module_id, "acl",
+        {"hdr.ipv4.srcAddr": 0, "hdr.udp.dstPort": 0},
+        "allow", {"port": default_port},
+        key_masks={"hdr.ipv4.srcAddr": 0, "hdr.udp.dstPort": 0})
+
+
+def install_entries(controller, module_id: int,
+                    blocked: Iterable[Tuple[str, int]] = (),
+                    allowed: Iterable[Tuple[str, int, int]] = ()) -> None:
+    """Install block rules (src, dport) and allow rules (src, dport, out)."""
+    for src, dport in blocked:
+        controller.table_add(module_id, "acl",
+                             {"hdr.ipv4.srcAddr": int(Ipv4Address(src)),
+                              "hdr.udp.dstPort": dport},
+                             "block")
+    for src, dport, port in allowed:
+        controller.table_add(module_id, "acl",
+                             {"hdr.ipv4.srcAddr": int(Ipv4Address(src)),
+                              "hdr.udp.dstPort": dport},
+                             "allow", {"port": port})
+
+
+def make_packet(vid: int, src: str, dport: int, pad_to: int = 0) -> Packet:
+    return common_packet(vid, b"\x00" * 8, src=src, dport=dport,
+                         pad_to=pad_to)

@@ -1,0 +1,55 @@
+"""Load balancer: steer traffic based on 4-tuple header info.
+
+Matches the flow identity (source IP, source port) and rewrites the UDP
+destination port + egress port to the selected backend — the
+tutorial-style L4 steering reduced to the prototype's rewrite widths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..net import Ipv4Address
+from ..net.packet import Packet
+from .base import COMMON_HEADER_DECLS, common_packet, parser_chain
+
+NAME = "load_balancer"
+
+P4_SOURCE = COMMON_HEADER_DECLS + """
+struct headers_t {
+    ethernet_t ethernet; vlan_t vlan; ipv4_t ipv4; udp_t udp;
+}
+""" + parser_chain(parser_name="LbParser") + """
+control LbIngress(inout headers_t hdr) {
+    action to_backend(bit<16> port, bit<16> dport) {
+        standard_metadata.egress_spec = port;
+        hdr.udp.dstPort = dport;
+    }
+    action no_backend() { mark_to_drop(); }
+    table flow_table {
+        key = { hdr.ipv4.srcAddr: exact; hdr.udp.srcPort: exact; }
+        actions = { to_backend; no_backend; }
+        size = 4;
+    }
+    apply { flow_table.apply(); }
+}
+"""
+
+
+def install_entries(controller, module_id: int,
+                    flows: Iterable[Tuple[str, int, int, int]] = ()) -> None:
+    """Install flow steering: (src ip, sport, backend port, backend dport)."""
+    for src, sport, port, dport in flows:
+        controller.table_add(module_id, "flow_table",
+                             {"hdr.ipv4.srcAddr": int(Ipv4Address(src)),
+                              "hdr.udp.srcPort": sport},
+                             "to_backend", {"port": port, "dport": dport})
+
+
+def make_packet(vid: int, src: str, sport: int, pad_to: int = 0) -> Packet:
+    return common_packet(vid, b"\x00" * 8, src=src, sport=sport,
+                         pad_to=pad_to)
+
+
+def read_dport(packet: Packet) -> int:
+    return packet.read_int(40, 2)

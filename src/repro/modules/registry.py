@@ -1,0 +1,26 @@
+"""Registry of the evaluated modules (Table 3 + the system module)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import calc, firewall, load_balancer, multicast, netcache, netchain
+from . import qos, source_routing
+
+#: All eight evaluated user modules, in Table 3 order.
+ALL_MODULES = [calc, firewall, load_balancer, qos, source_routing,
+               netcache, netchain, multicast]
+
+_BY_NAME: Dict[str, object] = {m.NAME: m for m in ALL_MODULES}
+
+
+def module_by_name(name: str):
+    """Look up an evaluated module by its Table 3 name."""
+    if name not in _BY_NAME:
+        raise KeyError(
+            f"unknown module {name!r}; available: {sorted(_BY_NAME)}")
+    return _BY_NAME[name]
+
+
+def module_names() -> List[str]:
+    return [m.NAME for m in ALL_MODULES]

@@ -1,0 +1,48 @@
+"""Packet-crafting substrate: raw packets and protocol header views.
+
+This package implements, from scratch, the wire formats Menshen's
+prototype traffic uses: Ethernet II, 802.1Q VLAN, IPv4, UDP, and TCP.
+A :class:`~repro.net.packet.Packet` is a mutable byte buffer; header
+classes are *views* over a packet at a byte offset, so mutating a field
+writes straight into the underlying buffer — exactly how the deparser
+overwrites header bytes in place.
+
+Quick example::
+
+    from repro.net import PacketBuilder
+
+    pkt = (PacketBuilder()
+           .ethernet(src="02:00:00:00:00:01", dst="02:00:00:00:00:02")
+           .vlan(vid=7)
+           .ipv4(src="10.0.0.1", dst="10.0.0.2")
+           .udp(sport=5000, dport=5001)
+           .payload(b"hello")
+           .build())
+"""
+
+from .packet import Packet
+from .ethernet import MacAddress, EthernetHeader, ETHERTYPE_VLAN, ETHERTYPE_IPV4
+from .vlan import VlanTag
+from .ipv4 import Ipv4Address, Ipv4Header, PROTO_UDP, PROTO_TCP
+from .udp_ import UdpHeader
+from .tcp_ import TcpHeader
+from .checksum import internet_checksum
+from .builder import PacketBuilder, parse_layers
+
+__all__ = [
+    "Packet",
+    "MacAddress",
+    "EthernetHeader",
+    "VlanTag",
+    "Ipv4Address",
+    "Ipv4Header",
+    "UdpHeader",
+    "TcpHeader",
+    "PacketBuilder",
+    "parse_layers",
+    "internet_checksum",
+    "ETHERTYPE_VLAN",
+    "ETHERTYPE_IPV4",
+    "PROTO_UDP",
+    "PROTO_TCP",
+]

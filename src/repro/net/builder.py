@@ -1,0 +1,264 @@
+"""Fluent packet builder and layer parser.
+
+:class:`PacketBuilder` assembles Ethernet / 802.1Q / IPv4 / UDP / TCP
+packets in order, then fixes up length and checksum fields at
+:meth:`~PacketBuilder.build` time. :func:`parse_layers` performs the
+inverse: given a raw :class:`~repro.net.packet.Packet`, it walks the
+layers and returns bound header views.
+
+The 46-byte Ethernet+VLAN+IPv4+UDP stack built here is exactly the
+"common header" carried by every Menshen packet (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..errors import PacketError
+from .ethernet import ETHERTYPE_IPV4, ETHERTYPE_VLAN, EthernetHeader, MacAddress
+from .ipv4 import IPV4_HEADER_LEN, Ipv4Address, Ipv4Header, PROTO_TCP, PROTO_UDP
+from .packet import Packet
+from .tcp_ import TCP_HEADER_LEN, TcpHeader
+from .udp_ import UDP_HEADER_LEN, UdpHeader
+from .vlan import VLAN_TAG_LEN, VlanTag
+
+#: Length of Menshen's common header: Ethernet(14) + VLAN(4) + IPv4(20) + UDP(8).
+COMMON_HEADER_LEN = 14 + VLAN_TAG_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN
+
+
+@dataclass
+class _EthSpec:
+    dst: MacAddress
+    src: MacAddress
+
+
+@dataclass
+class _VlanSpec:
+    vid: int
+    pcp: int = 0
+    dei: int = 0
+
+
+@dataclass
+class _Ipv4Spec:
+    src: Ipv4Address
+    dst: Ipv4Address
+    ttl: int = 64
+    dscp: int = 0
+    identification: int = 0
+
+
+@dataclass
+class _UdpSpec:
+    sport: int
+    dport: int
+
+
+@dataclass
+class _TcpSpec:
+    sport: int
+    dport: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+
+
+class PacketBuilder:
+    """Builds packets layer by layer; call :meth:`build` to serialize.
+
+    Layers must be added in stack order (ethernet → vlan → ipv4 →
+    udp/tcp → payload). ``build()`` computes IPv4 total length, UDP
+    length, and all checksums, and optionally pads to a minimum size.
+    """
+
+    def __init__(self) -> None:
+        self._eth: Optional[_EthSpec] = None
+        self._vlan: Optional[_VlanSpec] = None
+        self._ipv4: Optional[_Ipv4Spec] = None
+        self._udp: Optional[_UdpSpec] = None
+        self._tcp: Optional[_TcpSpec] = None
+        self._payload: bytes = b""
+
+    # -- layer setters ------------------------------------------------------
+
+    def ethernet(self, dst="02:00:00:00:00:02",
+                 src="02:00:00:00:00:01") -> "PacketBuilder":
+        self._eth = _EthSpec(dst=MacAddress(dst), src=MacAddress(src))
+        return self
+
+    def vlan(self, vid: int, pcp: int = 0, dei: int = 0) -> "PacketBuilder":
+        if self._eth is None:
+            raise PacketError("vlan() requires ethernet() first")
+        self._vlan = _VlanSpec(vid=vid, pcp=pcp, dei=dei)
+        return self
+
+    def ipv4(self, src="10.0.0.1", dst="10.0.0.2", ttl: int = 64,
+             dscp: int = 0, identification: int = 0) -> "PacketBuilder":
+        if self._eth is None:
+            raise PacketError("ipv4() requires ethernet() first")
+        self._ipv4 = _Ipv4Spec(src=Ipv4Address(src), dst=Ipv4Address(dst),
+                               ttl=ttl, dscp=dscp,
+                               identification=identification)
+        return self
+
+    def udp(self, sport: int = 10000, dport: int = 20000) -> "PacketBuilder":
+        if self._ipv4 is None:
+            raise PacketError("udp() requires ipv4() first")
+        if self._tcp is not None:
+            raise PacketError("packet already has a TCP layer")
+        self._udp = _UdpSpec(sport=sport, dport=dport)
+        return self
+
+    def tcp(self, sport: int = 10000, dport: int = 20000, seq: int = 0,
+            ack: int = 0, flags: int = 0,
+            window: int = 65535) -> "PacketBuilder":
+        if self._ipv4 is None:
+            raise PacketError("tcp() requires ipv4() first")
+        if self._udp is not None:
+            raise PacketError("packet already has a UDP layer")
+        self._tcp = _TcpSpec(sport=sport, dport=dport, seq=seq, ack=ack,
+                             flags=flags, window=window)
+        return self
+
+    def payload(self, data: bytes) -> "PacketBuilder":
+        self._payload = bytes(data)
+        return self
+
+    # -- serialization ------------------------------------------------------
+
+    def build(self, pad_to: int = 0, ingress_port: int = 0,
+              arrival_time: float = 0.0) -> Packet:
+        """Serialize the layers into a :class:`Packet`.
+
+        Parameters
+        ----------
+        pad_to:
+            If nonzero, zero-pad the final packet to at least this size
+            (padding is appended after the payload; lengths/checksums are
+            computed before padding, matching minimal Ethernet padding
+            semantics).
+        """
+        if self._eth is None:
+            raise PacketError("packet needs at least an Ethernet layer")
+
+        pkt = Packet(ingress_port=ingress_port, arrival_time=arrival_time)
+
+        # Ethernet
+        pkt.append(b"\x00" * EthernetHeader.HEADER_LEN)
+        eth = EthernetHeader(pkt, 0)
+        eth.dst = self._eth.dst
+        eth.src = self._eth.src
+        offset = eth.HEADER_LEN
+
+        # VLAN
+        vlan_view: Optional[VlanTag] = None
+        if self._vlan is not None:
+            eth.ethertype = ETHERTYPE_VLAN
+            pkt.append(b"\x00" * VLAN_TAG_LEN)
+            vlan_view = VlanTag(pkt, offset)
+            vlan_view.vid = self._vlan.vid
+            vlan_view.pcp = self._vlan.pcp
+            vlan_view.dei = self._vlan.dei
+            offset += VLAN_TAG_LEN
+
+        # IPv4
+        ip_view: Optional[Ipv4Header] = None
+        ip_offset = offset
+        if self._ipv4 is not None:
+            if vlan_view is not None:
+                vlan_view.inner_ethertype = ETHERTYPE_IPV4
+            else:
+                eth.ethertype = ETHERTYPE_IPV4
+            pkt.append(b"\x00" * IPV4_HEADER_LEN)
+            ip_view = Ipv4Header(pkt, ip_offset)
+            ip_view.set_version_ihl()
+            ip_view.src = self._ipv4.src
+            ip_view.dst = self._ipv4.dst
+            ip_view.ttl = self._ipv4.ttl
+            ip_view.dscp = self._ipv4.dscp
+            ip_view.identification = self._ipv4.identification
+            offset += IPV4_HEADER_LEN
+        elif self._vlan is not None and vlan_view is not None:
+            vlan_view.inner_ethertype = 0xFFFF  # experimental/no next layer
+
+        # L4
+        l4_offset = offset
+        if self._udp is not None:
+            if ip_view is None:
+                raise PacketError("UDP requires an IPv4 layer")
+            ip_view.protocol = PROTO_UDP
+            pkt.append(b"\x00" * UDP_HEADER_LEN)
+            offset += UDP_HEADER_LEN
+        elif self._tcp is not None:
+            if ip_view is None:
+                raise PacketError("TCP requires an IPv4 layer")
+            ip_view.protocol = PROTO_TCP
+            pkt.append(b"\x00" * TCP_HEADER_LEN)
+            offset += TCP_HEADER_LEN
+
+        # Payload
+        pkt.append(self._payload)
+
+        # Fix-ups: lengths then checksums.
+        if ip_view is not None:
+            ip_view.total_length = len(pkt) - ip_offset
+
+        if self._udp is not None and ip_view is not None:
+            udp_view = UdpHeader(pkt, l4_offset)
+            udp_view.sport = self._udp.sport
+            udp_view.dport = self._udp.dport
+            udp_view.length = len(pkt) - l4_offset
+            udp_view.update_checksum(int(ip_view.src), int(ip_view.dst))
+        elif self._tcp is not None and ip_view is not None:
+            tcp_view = TcpHeader(pkt, l4_offset)
+            tcp_view.sport = self._tcp.sport
+            tcp_view.dport = self._tcp.dport
+            tcp_view.seq = self._tcp.seq
+            tcp_view.ack = self._tcp.ack
+            tcp_view.data_offset = 5
+            tcp_view.flags = self._tcp.flags
+            tcp_view.window = self._tcp.window
+            tcp_view.update_checksum(int(ip_view.src), int(ip_view.dst),
+                                     len(pkt) - l4_offset)
+
+        if ip_view is not None:
+            ip_view.update_checksum()
+
+        if pad_to:
+            pkt.pad_to(pad_to)
+        return pkt
+
+
+LayerView = Union[EthernetHeader, VlanTag, Ipv4Header, UdpHeader, TcpHeader]
+
+
+def parse_layers(pkt: Packet) -> Dict[str, LayerView]:
+    """Walk a packet's layers and return bound views by name.
+
+    Returns a dict with any of the keys ``ethernet``, ``vlan``, ``ipv4``,
+    ``udp``, ``tcp`` that are present. Raises
+    :class:`~repro.errors.TruncatedPacketError` if a layer is cut short.
+    """
+    layers: Dict[str, LayerView] = {}
+    eth = EthernetHeader(pkt, 0)
+    layers["ethernet"] = eth
+    offset = eth.HEADER_LEN
+    ethertype = eth.ethertype
+
+    if ethertype == ETHERTYPE_VLAN:
+        vlan = VlanTag(pkt, offset)
+        layers["vlan"] = vlan
+        offset += VlanTag.HEADER_LEN
+        ethertype = vlan.inner_ethertype
+
+    if ethertype == ETHERTYPE_IPV4:
+        ip = Ipv4Header(pkt, offset)
+        layers["ipv4"] = ip
+        offset += ip.ihl * 4
+        if ip.protocol == PROTO_UDP:
+            layers["udp"] = UdpHeader(pkt, offset)
+        elif ip.protocol == PROTO_TCP:
+            layers["tcp"] = TcpHeader(pkt, offset)
+    return layers

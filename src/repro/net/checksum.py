@@ -1,0 +1,32 @@
+"""RFC 1071 internet checksum (used by IPv4, UDP, TCP)."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement internet checksum of ``data``.
+
+    Odd-length input is implicitly padded with a zero byte, per RFC 1071.
+    """
+    total = 0
+    length = len(data)
+    # Sum 16-bit big-endian words.
+    for i in range(0, length - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if length % 2:
+        total += data[-1] << 8
+    # Fold carries.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True if ``data`` (with its checksum field in place) sums to zero."""
+    return internet_checksum(data) == 0
+
+
+def pseudo_header_ipv4(src: int, dst: int, proto: int, length: int) -> bytes:
+    """IPv4 pseudo-header used by UDP/TCP checksums."""
+    return (src.to_bytes(4, "big") + dst.to_bytes(4, "big")
+            + b"\x00" + bytes([proto]) + length.to_bytes(2, "big"))

@@ -1,0 +1,110 @@
+"""TCP header view (20-byte base header, no options emitted)."""
+
+from __future__ import annotations
+
+from ..errors import FieldRangeError
+from .checksum import internet_checksum, pseudo_header_ipv4
+from .packet import HeaderView
+
+TCP_HEADER_LEN = 20
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+FLAG_URG = 0x20
+
+
+class TcpHeader(HeaderView):
+    """TCP base header: ports, seq/ack, offset/flags, window, checksum."""
+
+    HEADER_LEN = TCP_HEADER_LEN
+
+    @property
+    def sport(self) -> int:
+        return self._get(0, 2)
+
+    @sport.setter
+    def sport(self, value: int) -> None:
+        self._set(0, 2, value)
+
+    @property
+    def dport(self) -> int:
+        return self._get(2, 2)
+
+    @dport.setter
+    def dport(self, value: int) -> None:
+        self._set(2, 2, value)
+
+    @property
+    def seq(self) -> int:
+        return self._get(4, 4)
+
+    @seq.setter
+    def seq(self, value: int) -> None:
+        self._set(4, 4, value)
+
+    @property
+    def ack(self) -> int:
+        return self._get(8, 4)
+
+    @ack.setter
+    def ack(self, value: int) -> None:
+        self._set(8, 4, value)
+
+    @property
+    def data_offset(self) -> int:
+        """Header length in 32-bit words (>=5)."""
+        return self._get(12, 1) >> 4
+
+    @data_offset.setter
+    def data_offset(self, value: int) -> None:
+        if not 5 <= value <= 15:
+            raise FieldRangeError(f"TCP data offset out of range: {value}")
+        self._set(12, 1, (value << 4) | (self._get(12, 1) & 0x0F))
+
+    @property
+    def flags(self) -> int:
+        return self._get(13, 1)
+
+    @flags.setter
+    def flags(self, value: int) -> None:
+        self._set(13, 1, value)
+
+    @property
+    def window(self) -> int:
+        return self._get(14, 2)
+
+    @window.setter
+    def window(self, value: int) -> None:
+        self._set(14, 2, value)
+
+    @property
+    def checksum(self) -> int:
+        return self._get(16, 2)
+
+    @checksum.setter
+    def checksum(self, value: int) -> None:
+        self._set(16, 2, value)
+
+    @property
+    def urgent(self) -> int:
+        return self._get(18, 2)
+
+    @urgent.setter
+    def urgent(self, value: int) -> None:
+        self._set(18, 2, value)
+
+    def has_flag(self, flag: int) -> bool:
+        return bool(self.flags & flag)
+
+    def update_checksum(self, src_ip: int, dst_ip: int,
+                        segment_len: int) -> int:
+        """Recompute the TCP checksum over pseudo-header + segment."""
+        self.checksum = 0
+        segment = self.packet.read_bytes(self.offset, segment_len)
+        pseudo = pseudo_header_ipv4(src_ip, dst_ip, 6, segment_len)
+        value = internet_checksum(pseudo + segment)
+        self.checksum = value
+        return value

@@ -1,0 +1,70 @@
+"""UDP header view.
+
+Named ``udp_`` (trailing underscore) to avoid shadowing any stdlib or
+third-party ``udp`` module on unusual sys.paths.
+"""
+
+from __future__ import annotations
+
+from .checksum import internet_checksum, pseudo_header_ipv4
+from .packet import HeaderView
+
+UDP_HEADER_LEN = 8
+
+# Menshen's reconfiguration packets carry this UDP destination port (§4.1).
+MENSHEN_RECONFIG_DPORT = 0xF1F2
+
+
+class UdpHeader(HeaderView):
+    """UDP: sport(2) | dport(2) | length(2) | checksum(2)."""
+
+    HEADER_LEN = UDP_HEADER_LEN
+
+    @property
+    def sport(self) -> int:
+        return self._get(0, 2)
+
+    @sport.setter
+    def sport(self, value: int) -> None:
+        self._set(0, 2, value)
+
+    @property
+    def dport(self) -> int:
+        return self._get(2, 2)
+
+    @dport.setter
+    def dport(self, value: int) -> None:
+        self._set(2, 2, value)
+
+    @property
+    def length(self) -> int:
+        return self._get(4, 2)
+
+    @length.setter
+    def length(self, value: int) -> None:
+        self._set(4, 2, value)
+
+    @property
+    def checksum(self) -> int:
+        return self._get(6, 2)
+
+    @checksum.setter
+    def checksum(self, value: int) -> None:
+        self._set(6, 2, value)
+
+    @property
+    def is_reconfig(self) -> bool:
+        """True if this datagram targets Menshen's reconfiguration port."""
+        return self.dport == MENSHEN_RECONFIG_DPORT
+
+    def update_checksum(self, src_ip: int, dst_ip: int) -> int:
+        """Recompute the UDP checksum over pseudo-header + datagram."""
+        self.checksum = 0
+        datagram = self.packet.read_bytes(self.offset, self.length)
+        pseudo = pseudo_header_ipv4(src_ip, dst_ip, 17, self.length)
+        value = internet_checksum(pseudo + datagram)
+        # Per RFC 768, a computed checksum of 0 is transmitted as 0xFFFF.
+        if value == 0:
+            value = 0xFFFF
+        self.checksum = value
+        return value

@@ -1,0 +1,72 @@
+"""IEEE 802.1Q VLAN tag view.
+
+The tag sits right after the Ethernet source MAC: the TPID (0x8100)
+occupies the ethertype slot and is followed by 2 bytes of TCI
+(PCP 3b | DEI 1b | VID 12b) and the encapsulated ethertype. Menshen uses
+the 12-bit VID as the module identifier (§3.1).
+"""
+
+from __future__ import annotations
+
+from ..errors import FieldRangeError
+from .packet import HeaderView
+
+VLAN_TAG_LEN = 4  # TCI (2) + inner ethertype (2); the TPID lives in the
+                  # preceding Ethernet ethertype slot.
+VLAN_VID_BITS = 12
+MAX_VID = (1 << VLAN_VID_BITS) - 1
+
+
+class VlanTag(HeaderView):
+    """The 4 bytes following a 0x8100 TPID: TCI(2) | inner ethertype(2)."""
+
+    HEADER_LEN = VLAN_TAG_LEN
+
+    @property
+    def tci(self) -> int:
+        return self._get(0, 2)
+
+    @tci.setter
+    def tci(self, value: int) -> None:
+        self._set(0, 2, value)
+
+    @property
+    def pcp(self) -> int:
+        """Priority code point (3 bits)."""
+        return (self.tci >> 13) & 0x7
+
+    @pcp.setter
+    def pcp(self, value: int) -> None:
+        if not 0 <= value <= 7:
+            raise FieldRangeError(f"PCP out of range: {value}")
+        self.tci = (self.tci & 0x1FFF) | (value << 13)
+
+    @property
+    def dei(self) -> int:
+        """Drop eligible indicator (1 bit)."""
+        return (self.tci >> 12) & 0x1
+
+    @dei.setter
+    def dei(self, value: int) -> None:
+        if value not in (0, 1):
+            raise FieldRangeError(f"DEI must be 0/1: {value}")
+        self.tci = (self.tci & 0xEFFF) | (value << 12)
+
+    @property
+    def vid(self) -> int:
+        """VLAN identifier — Menshen's module ID (12 bits)."""
+        return self.tci & MAX_VID
+
+    @vid.setter
+    def vid(self, value: int) -> None:
+        if not 0 <= value <= MAX_VID:
+            raise FieldRangeError(f"VID out of range: {value}")
+        self.tci = (self.tci & ~MAX_VID) | value
+
+    @property
+    def inner_ethertype(self) -> int:
+        return self._get(2, 2)
+
+    @inner_ethertype.setter
+    def inner_ethertype(self, value: int) -> None:
+        self._set(2, 2, value)

@@ -1,0 +1,24 @@
+"""Resource-sharing policies and admission control (§3.4).
+
+The paper's resource checker validates each module's allocation against
+"an operator specified resource sharing policy (e.g., dominant resource
+sharing (DRF), or a utility-based policy)" and relies on admission
+control rather than revocation. The policy question itself is left to
+future work; this package implements the two named policies so the
+module-packing experiments can exercise them.
+"""
+
+from .base import PolicyState, CAPACITY_RESOURCES, capacity_vector, demand_vector
+from .drf import DrfPolicy
+from .utility import UtilityPolicy
+from .admission import FirstFitPolicy
+
+__all__ = [
+    "PolicyState",
+    "CAPACITY_RESOURCES",
+    "capacity_vector",
+    "demand_vector",
+    "DrfPolicy",
+    "UtilityPolicy",
+    "FirstFitPolicy",
+]

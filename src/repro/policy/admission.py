@@ -1,0 +1,31 @@
+"""First-fit admission: admit while raw capacity remains.
+
+The simplest policy — what the prototype effectively does — used as the
+baseline in the module-packing experiment (§5.2: "the maximum number of
+modules is at most 16 because there are only 16 match-action entries in
+each stage").
+"""
+
+from __future__ import annotations
+
+from ..compiler.resource_checker import ResourceRequest
+from ..rmt.params import DEFAULT_PARAMS, HardwareParams
+from .base import PolicyState, capacity_vector, demand_vector
+
+
+class FirstFitPolicy:
+    """Admit any module whose demand fits remaining capacity."""
+
+    def __init__(self, params: HardwareParams = DEFAULT_PARAMS):
+        self.state = PolicyState(capacity=capacity_vector(params))
+
+    def admit(self, module_id: int, request: ResourceRequest,
+              ledger=None) -> bool:
+        demand = demand_vector(request)
+        if not self.state.fits(demand):
+            return False
+        self.state.record(module_id, demand)
+        return True
+
+    def release(self, module_id: int) -> None:
+        self.state.release(module_id)

@@ -1,0 +1,69 @@
+"""Shared policy machinery: resource vectors over pipeline capacity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..compiler.resource_checker import ResourceRequest
+from ..errors import PolicyError
+from ..rmt.params import DEFAULT_PARAMS, HardwareParams
+
+#: Resource dimensions policies reason about. Stages and parse actions
+#: are *per-module* constraints enforced by the compiler/allocator, not
+#: pooled resources; the pooled dimensions are the space-partitioned
+#: memories plus the overlay depth (one slot per module).
+CAPACITY_RESOURCES = ("match_entries", "stateful_words", "module_slots")
+
+
+def capacity_vector(params: HardwareParams = DEFAULT_PARAMS
+                    ) -> Dict[str, float]:
+    """Total pipeline capacity along each policy dimension."""
+    return {
+        "match_entries": params.match_entries_per_stage * params.num_stages,
+        "stateful_words": (params.stateful_words_per_stage
+                           * params.num_stages),
+        "module_slots": float(params.max_modules),
+    }
+
+
+def demand_vector(request: ResourceRequest) -> Dict[str, float]:
+    """A module's demand along each policy dimension."""
+    return {
+        "match_entries": float(request.match_entries),
+        "stateful_words": float(request.stateful_words),
+        "module_slots": 1.0,
+    }
+
+
+@dataclass
+class PolicyState:
+    """Running account of admitted modules' usage."""
+
+    capacity: Dict[str, float]
+    usage: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+    def total_used(self, resource: str) -> float:
+        return sum(u.get(resource, 0.0) for u in self.usage.values())
+
+    def remaining(self, resource: str) -> float:
+        return self.capacity[resource] - self.total_used(resource)
+
+    def fits(self, demand: Dict[str, float]) -> bool:
+        return all(demand.get(r, 0.0) <= self.remaining(r)
+                   for r in self.capacity)
+
+    def record(self, module_id: int, demand: Dict[str, float]) -> None:
+        if module_id in self.usage:
+            raise PolicyError(f"module {module_id} already recorded")
+        self.usage[module_id] = dict(demand)
+
+    def release(self, module_id: int) -> None:
+        self.usage.pop(module_id, None)
+
+    def dominant_share(self, module_id: int) -> float:
+        """DRF's dominant share: max over resources of usage/capacity."""
+        demand = self.usage.get(module_id, {})
+        shares = [demand.get(r, 0.0) / self.capacity[r]
+                  for r in self.capacity if self.capacity[r] > 0]
+        return max(shares) if shares else 0.0

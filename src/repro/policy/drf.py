@@ -1,0 +1,54 @@
+"""Dominant Resource Fairness admission policy (Ghodsi et al., NSDI'11).
+
+Admission-control flavor of DRF: a module is admitted if (a) its demand
+fits the remaining capacity, and (b) after admission its dominant share
+would not exceed ``fair_cap`` — a configurable multiple of the equal
+share ``1/expected_tenants``. This prevents one tenant from monopolizing
+the scarcest resource while still allowing heterogeneous demands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..compiler.resource_checker import ResourceRequest
+from ..rmt.params import DEFAULT_PARAMS, HardwareParams
+from .base import PolicyState, capacity_vector, demand_vector
+
+
+class DrfPolicy:
+    """DRF-style admission control."""
+
+    def __init__(self, params: HardwareParams = DEFAULT_PARAMS,
+                 expected_tenants: int = 8, fairness_slack: float = 2.0):
+        self.state = PolicyState(capacity=capacity_vector(params))
+        self.expected_tenants = expected_tenants
+        self.fairness_slack = fairness_slack
+
+    @property
+    def fair_cap(self) -> float:
+        """Maximum dominant share one module may take."""
+        return min(1.0, self.fairness_slack / self.expected_tenants)
+
+    def dominant_share_of(self, demand: Dict[str, float]) -> float:
+        shares = [demand.get(r, 0.0) / c
+                  for r, c in self.state.capacity.items() if c > 0]
+        return max(shares) if shares else 0.0
+
+    # -- the controller's policy hook ------------------------------------------
+
+    def admit(self, module_id: int, request: ResourceRequest,
+              ledger=None) -> bool:
+        demand = demand_vector(request)
+        if not self.state.fits(demand):
+            return False
+        if self.dominant_share_of(demand) > self.fair_cap:
+            return False
+        self.state.record(module_id, demand)
+        return True
+
+    def release(self, module_id: int) -> None:
+        self.state.release(module_id)
+
+    def dominant_shares(self) -> Dict[int, float]:
+        return {m: self.state.dominant_share(m) for m in self.state.usage}

@@ -1,0 +1,53 @@
+"""Utility-based admission policy (cf. Hogan et al., NSDI'22).
+
+Each module declares a utility (operator-assigned value). The policy
+admits a module when its *utility density* — utility per unit of its
+dominant resource share — clears a configurable threshold and capacity
+remains. This approximates the modular-switch-programming formulation
+of maximizing total utility under resource constraints with an online
+greedy rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..compiler.resource_checker import ResourceRequest
+from ..errors import PolicyError
+from ..rmt.params import DEFAULT_PARAMS, HardwareParams
+from .base import PolicyState, capacity_vector, demand_vector
+
+
+class UtilityPolicy:
+    """Greedy utility-density admission."""
+
+    def __init__(self, params: HardwareParams = DEFAULT_PARAMS,
+                 min_density: float = 0.0):
+        self.state = PolicyState(capacity=capacity_vector(params))
+        self.min_density = min_density
+        self.utilities: Dict[int, float] = {}
+        self.total_utility = 0.0
+
+    def set_utility(self, module_id: int, utility: float) -> None:
+        if utility < 0:
+            raise PolicyError(f"utility must be non-negative, got {utility}")
+        self.utilities[module_id] = utility
+
+    def admit(self, module_id: int, request: ResourceRequest,
+              ledger=None) -> bool:
+        demand = demand_vector(request)
+        if not self.state.fits(demand):
+            return False
+        utility = self.utilities.get(module_id, 1.0)
+        shares = [demand.get(r, 0.0) / c
+                  for r, c in self.state.capacity.items() if c > 0]
+        dominant = max(shares) if shares else 0.0
+        if dominant > 0 and utility / dominant < self.min_density:
+            return False
+        self.state.record(module_id, demand)
+        self.total_utility += utility
+        return True
+
+    def release(self, module_id: int) -> None:
+        self.state.release(module_id)
+        self.total_utility -= self.utilities.get(module_id, 1.0)

@@ -1,0 +1,76 @@
+"""Generic width-checked configuration array.
+
+Every programmable element in the pipeline reads its configuration from a
+table of fixed-width words. :class:`ConfigTable` is the plain RMT storage
+(one or few entries); :class:`repro.core.overlay.OverlayTable` wraps it
+with Menshen's per-module indexing and isolation bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bits import check_fits
+from ..errors import ConfigError
+
+
+class ConfigTable:
+    """A fixed-depth array of fixed-width configuration words.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier used in error messages and stats.
+    width_bits:
+        Bit width of each entry; writes are validated against it.
+    depth:
+        Number of entries.
+    """
+
+    def __init__(self, name: str, width_bits: int, depth: int):
+        if depth <= 0:
+            raise ConfigError(f"{name}: depth must be positive, got {depth}")
+        if width_bits <= 0:
+            raise ConfigError(f"{name}: width must be positive, got {width_bits}")
+        self.name = name
+        self.width_bits = width_bits
+        self.depth = depth
+        self._entries: List[int] = [0] * depth
+        self.write_count = 0
+        self.read_count = 0
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.depth:
+            raise ConfigError(
+                f"{self.name}: index {index} out of range [0, {self.depth})")
+
+    def read(self, index: int) -> int:
+        """Read the entry at ``index``."""
+        self._check_index(index)
+        self.read_count += 1
+        return self._entries[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write ``value`` at ``index`` (validates width)."""
+        self._check_index(index)
+        try:
+            check_fits(value, self.width_bits, f"{self.name}[{index}]")
+        except Exception as exc:
+            raise ConfigError(str(exc)) from exc
+        self._entries[index] = value
+        self.write_count += 1
+
+    def clear(self, index: int) -> None:
+        """Zero the entry at ``index``."""
+        self.write(index, 0)
+
+    def snapshot(self) -> List[int]:
+        """Copy of all entries (for tests and state diffing)."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __repr__(self) -> str:
+        return (f"ConfigTable({self.name!r}, width={self.width_bits}, "
+                f"depth={self.depth})")

@@ -1,0 +1,168 @@
+"""Cuckoo-hash exact matching (§4.3's scaling suggestion).
+
+The prototype's exact-match table is a 16-deep CAM because FPGA CAMs
+are expensive:
+
+    "While 16 is a small depth, the depth can be improved by using a
+    hash table, rather than a CAM, for exact matching, e.g., cuckoo
+    hashing."
+
+:class:`CuckooExactTable` implements that alternative: a d-ary cuckoo
+hash table storing the same (key ∥ module ID) words. Inserts may
+relocate existing entries between their alternative slots; the insert
+reports every relocation so the caller can move the corresponding VLIW
+action words in lockstep (the action table is indexed by match slot).
+Lookups probe d slots — constant-time, no priority logic — and the
+module-ID match keeps cross-module isolation identical to the CAM.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigError
+from .encodings import KEY_BITS, MODULE_ID_BITS
+from ..bits import check_fits
+
+
+@dataclass
+class _Slot:
+    key: int
+    module_id: int
+
+
+class CuckooInsertError(ConfigError):
+    """Insertion failed after the relocation budget (table too full)."""
+
+
+class CuckooExactTable:
+    """d-ary cuckoo hash table over (key, module_id) words.
+
+    Parameters
+    ----------
+    depth:
+        Total number of slots.
+    hash_count:
+        Number of candidate slots per key (2 is classic cuckoo).
+    max_kicks:
+        Relocation budget per insert before declaring the table full.
+    """
+
+    def __init__(self, depth: int = 256, hash_count: int = 2,
+                 max_kicks: int = 64):
+        if depth <= 0:
+            raise ConfigError(f"depth must be positive, got {depth}")
+        if hash_count < 2:
+            raise ConfigError("cuckoo hashing needs at least 2 hashes")
+        self.depth = depth
+        self.hash_count = hash_count
+        self.max_kicks = max_kicks
+        self._slots: List[Optional[_Slot]] = [None] * depth
+        self.lookup_count = 0
+        self.hit_count = 0
+        self.relocations = 0
+
+    # -- hashing ---------------------------------------------------------------
+
+    def _hashes(self, key: int, module_id: int) -> List[int]:
+        word = ((key << MODULE_ID_BITS) | module_id).to_bytes(32, "big")
+        out = []
+        for salt in range(self.hash_count):
+            digest = hashlib.blake2b(word, digest_size=8,
+                                     salt=bytes([salt]) * 8).digest()
+            out.append(int.from_bytes(digest, "big") % self.depth)
+        return out
+
+    # -- operations ---------------------------------------------------------------
+
+    def lookup(self, key: int, module_id: int) -> Optional[int]:
+        """Slot index of the matching entry, or None. Probes d slots."""
+        self.lookup_count += 1
+        for slot_index in self._hashes(key, module_id):
+            slot = self._slots[slot_index]
+            if (slot is not None and slot.key == key
+                    and slot.module_id == module_id):
+                self.hit_count += 1
+                return slot_index
+        return None
+
+    def insert(self, key: int, module_id: int
+               ) -> Tuple[int, List[Tuple[int, int]]]:
+        """Insert; returns (final slot, relocations).
+
+        ``relocations`` is a list of ``(from_slot, to_slot)`` moves of
+        *other* entries, ordered so that replaying them sequentially is
+        safe (deepest move of the kick chain first — each destination is
+        vacant by the time its move applies). The caller must replay
+        them on the VLIW action table so actions stay aligned with their
+        match entries. Raises :class:`CuckooInsertError` when the kick
+        budget is exhausted.
+        """
+        check_fits(key, KEY_BITS, "key")
+        check_fits(module_id, MODULE_ID_BITS, "module id")
+        existing = self.lookup(key, module_id)
+        if existing is not None:
+            raise ConfigError(
+                f"duplicate cuckoo entry for module {module_id}")
+
+        relocations: List[Tuple[int, int]] = []
+        candidate = _Slot(key, module_id)
+        # Try empty candidate slots first.
+        for slot_index in self._hashes(key, module_id):
+            if self._slots[slot_index] is None:
+                self._slots[slot_index] = candidate
+                return slot_index, relocations
+
+        # Kick chain: displace an occupant into one of ITS alternatives.
+        target = self._hashes(key, module_id)[0]
+        for _ in range(self.max_kicks):
+            victim = self._slots[target]
+            self._slots[target] = candidate
+            if candidate.key == key and candidate.module_id == module_id:
+                final_slot = target
+            # Find the victim a new home among its alternatives.
+            alternatives = [h for h in self._hashes(victim.key,
+                                                    victim.module_id)
+                            if h != target]
+            new_home = None
+            for alt in alternatives:
+                if self._slots[alt] is None:
+                    new_home = alt
+                    break
+            if new_home is not None:
+                self._slots[new_home] = victim
+                relocations.append((target, new_home))
+                self.relocations += len(relocations)
+                # Reverse: the deepest displacement must replay first so
+                # every move's destination is already vacant.
+                return final_slot, list(reversed(relocations))
+            # No free alternative: victim displaces someone else.
+            next_target = alternatives[0] if alternatives else target
+            relocations.append((target, next_target))
+            candidate = victim
+            target = next_target
+
+        # Budget exhausted: roll back is complex; declare full. Callers
+        # treat this as "table full" (same as a CAM with no free rows).
+        raise CuckooInsertError(
+            f"cuckoo insert failed after {self.max_kicks} relocations "
+            f"(occupancy {self.occupancy()}/{self.depth})")
+
+    def delete(self, key: int, module_id: int) -> int:
+        slot_index = self.lookup(key, module_id)
+        if slot_index is None:
+            raise ConfigError("entry not found")
+        self._slots[slot_index] = None
+        return slot_index
+
+    def entries_of(self, module_id: int) -> List[int]:
+        return [i for i, s in enumerate(self._slots)
+                if s is not None and s.module_id == module_id]
+
+    def occupancy(self) -> int:
+        return sum(1 for s in self._slots if s is not None)
+
+    def load_factor(self) -> float:
+        return self.occupancy() / self.depth

@@ -1,0 +1,71 @@
+"""Deparser: writes modified PHV containers back into the packet (§3.1).
+
+The deparser performs the inverse of the parser: for each valid action in
+the module's deparser-table entry (same 160-bit format as the parser
+table), it overwrites ``container_size`` bytes at ``bytes_from_head`` in
+the buffered packet with the container's current value, then releases the
+merged packet. Fields never parsed into the PHV are left untouched —
+this is why the prototype gets away with only 25 containers (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigError, PacketError
+from ..net.packet import Packet
+from .config_table import ConfigTable
+from .params import DEFAULT_PARAMS, HardwareParams
+from .parser import ParseAction
+from .phv import PHV, ContainerType
+
+
+class Deparser:
+    """Merges a processed PHV back into its buffered packet."""
+
+    def __init__(self, table: ConfigTable,
+                 params: HardwareParams = DEFAULT_PARAMS):
+        self.table = table
+        self.params = params
+
+    def install_program(self, module_id: int,
+                        actions: List[ParseAction]) -> int:
+        """Write a module's deparse program (parser-entry format)."""
+        if len(actions) > self.params.parse_actions_per_entry:
+            raise ConfigError(
+                f"module {module_id}: {len(actions)} deparse actions exceed "
+                f"the limit of {self.params.parse_actions_per_entry}")
+        from .encodings import encode_parser_entry
+        entry = encode_parser_entry([a.encode() for a in actions])
+        self.table.write(module_id, entry)
+        return entry
+
+    def read_program(self, module_id: int) -> List[ParseAction]:
+        from .encodings import decode_parser_entry
+        entry = self.table.read(module_id)
+        actions = [ParseAction.decode(w) for w in decode_parser_entry(entry)]
+        return [a for a in actions if a.valid]
+
+    def deparse(self, phv: PHV, packet: Packet,
+                module_id: int) -> Optional[Packet]:
+        """Write containers back into ``packet``; returns the merged packet.
+
+        Returns ``None`` when the PHV's discard flag is set — the packet
+        is dropped instead of transmitted. The input packet is mutated in
+        place (it is the packet buffer's copy).
+        """
+        if phv.metadata.discard:
+            return None
+        window = min(len(packet), self.params.parse_window_bytes)
+        for action in self.read_program(module_id):
+            if action.container.ctype == ContainerType.META:
+                raise ConfigError("deparse actions cannot target metadata")
+            size = action.container.size_bytes
+            end = action.bytes_from_head + size
+            if end > window:
+                raise PacketError(
+                    f"deparse action writes [{action.bytes_from_head}:{end}) "
+                    f"past the {window}-byte window")
+            packet.write_bytes(action.bytes_from_head,
+                               phv.get_bytes(action.container))
+        return packet

@@ -1,0 +1,232 @@
+"""Bit-accurate configuration-entry encodings (Fig. 7 / §4.1 of the paper).
+
+Every configuration word that rides inside a reconfiguration packet is
+packed and unpacked here:
+
+========================  =====  =============================================
+entry                     bits   layout (MSB first)
+========================  =====  =============================================
+parse action              16     rsvd(3) | bytes_from_head(7) | ctype(2) |
+                                 cindex(3) | valid(1)
+parser/deparser entry     160    10 parse actions
+key-extractor entry       38     6x3b container indices (6B,6B,4B,4B,2B,2B) |
+                                 cmp_op(4) | operand_a(8) | operand_b(8)
+key mask                  193    1 validity bit per key bit
+match key                 193    6B|6B|4B|4B|2B|2B | predicate flag(1)
+CAM entry                 205    key(193) | module_id(12)
+ALU action                25     two-operand: op(4)|c1(5)|c2(5)|rsvd(11)
+                                 immediate:  op(4)|c1(5)|imm(16)
+VLIW instruction          625    25 ALU actions (flat container order)
+segment entry             16     offset(8) | range(8)
+========================  =====  =============================================
+
+The 8-bit comparison operands of the key extractor can name either a PHV
+container or an immediate. The paper does not pin this sub-encoding down;
+we use ``is_container(1) | payload(7)``: payload is a 5-bit container code
+when the flag is set, else a 7-bit immediate. This choice is recorded in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..bits import WordLayout, check_fits, concat_fields, split_fields
+from ..errors import EncodingError
+from .params import DEFAULT_PARAMS
+
+# ---------------------------------------------------------------------------
+# Parse action (16 bits) and parser/deparser entries (160 bits)
+# ---------------------------------------------------------------------------
+
+PARSE_ACTION_LAYOUT = WordLayout(16, [
+    ("reserved", 3),
+    ("bytes_from_head", 7),
+    ("container_type", 2),
+    ("container_index", 3),
+    ("valid", 1),
+])
+
+PARSER_ENTRY_BITS = DEFAULT_PARAMS.parser_entry_bits  # 160
+PARSE_ACTIONS_PER_ENTRY = DEFAULT_PARAMS.parse_actions_per_entry  # 10
+
+
+def encode_parse_action(bytes_from_head: int, container_type: int,
+                        container_index: int, valid: int = 1) -> int:
+    """Pack one 16-bit parse action."""
+    return PARSE_ACTION_LAYOUT.pack(
+        bytes_from_head=bytes_from_head,
+        container_type=container_type,
+        container_index=container_index,
+        valid=valid,
+    )
+
+
+def decode_parse_action(word: int) -> dict:
+    """Unpack a 16-bit parse action to its named fields."""
+    return PARSE_ACTION_LAYOUT.unpack(word)
+
+
+def encode_parser_entry(actions: List[int]) -> int:
+    """Pack up to 10 parse-action words into one 160-bit entry.
+
+    Unused slots are zero (valid bit clear).
+    """
+    if len(actions) > PARSE_ACTIONS_PER_ENTRY:
+        raise EncodingError(
+            f"at most {PARSE_ACTIONS_PER_ENTRY} parse actions per entry, "
+            f"got {len(actions)}")
+    padded = list(actions) + [0] * (PARSE_ACTIONS_PER_ENTRY - len(actions))
+    return concat_fields([(a, 16) for a in padded])
+
+
+def decode_parser_entry(entry: int) -> List[int]:
+    """Split a 160-bit parser entry into its 10 action words."""
+    return split_fields(entry, [16] * PARSE_ACTIONS_PER_ENTRY)
+
+
+# ---------------------------------------------------------------------------
+# Key extractor entry (38 bits)
+# ---------------------------------------------------------------------------
+
+KEY_EXTRACT_LAYOUT = WordLayout(38, [
+    ("idx_6b_1", 3),
+    ("idx_6b_2", 3),
+    ("idx_4b_1", 3),
+    ("idx_4b_2", 3),
+    ("idx_2b_1", 3),
+    ("idx_2b_2", 3),
+    ("cmp_op", 4),
+    ("cmp_a", 8),
+    ("cmp_b", 8),
+])
+
+
+def encode_cmp_operand(is_container: bool, value: int) -> int:
+    """Pack an 8-bit comparison operand.
+
+    ``is_container=True``: ``value`` is a 5-bit container code.
+    ``is_container=False``: ``value`` is a 7-bit immediate.
+    """
+    if is_container:
+        check_fits(value, 5, "container code")
+        return 0x80 | value
+    check_fits(value, 7, "immediate operand")
+    return value
+
+
+def decode_cmp_operand(operand: int) -> Tuple[bool, int]:
+    """Unpack an 8-bit comparison operand to ``(is_container, value)``."""
+    check_fits(operand, 8, "cmp operand")
+    if operand & 0x80:
+        return True, operand & 0x1F
+    return False, operand & 0x7F
+
+
+# ---------------------------------------------------------------------------
+# Match key (193 bits) and CAM entry (205 bits)
+# ---------------------------------------------------------------------------
+
+KEY_BITS = DEFAULT_PARAMS.key_bits          # 193
+CAM_ENTRY_BITS = DEFAULT_PARAMS.cam_entry_bits  # 205
+MODULE_ID_BITS = DEFAULT_PARAMS.module_id_bits  # 12
+
+_KEY_PART_WIDTHS = [48, 48, 32, 32, 16, 16, 1]  # 6B,6B,4B,4B,2B,2B,flag
+
+
+def encode_key(parts: List[int], flag: int) -> int:
+    """Pack key parts ``[6B1, 6B2, 4B1, 4B2, 2B1, 2B2]`` + predicate flag."""
+    if len(parts) != 6:
+        raise EncodingError(f"key needs 6 parts, got {len(parts)}")
+    return concat_fields(list(zip(parts, _KEY_PART_WIDTHS[:6]))
+                         + [(flag, 1)])
+
+
+def decode_key(key: int) -> Tuple[List[int], int]:
+    """Split a 193-bit key into its 6 parts and the predicate flag."""
+    fields = split_fields(key, _KEY_PART_WIDTHS)
+    return fields[:6], fields[6]
+
+
+def encode_cam_entry(key: int, module_id: int) -> int:
+    """CAM word: key(193) | module_id(12)."""
+    return concat_fields([(key, KEY_BITS), (module_id, MODULE_ID_BITS)])
+
+
+def decode_cam_entry(entry: int) -> Tuple[int, int]:
+    key, module_id = split_fields(entry, [KEY_BITS, MODULE_ID_BITS])
+    return key, module_id
+
+
+# Appendix-B ternary entries: key(193) | mask(193) | module_id(12).
+TCAM_ENTRY_BITS = 2 * KEY_BITS + MODULE_ID_BITS  # 398
+
+
+def encode_tcam_entry(key: int, mask_bits: int, module_id: int) -> int:
+    """Ternary word: key(193) | mask(193) | module_id(12)."""
+    return concat_fields([(key, KEY_BITS), (mask_bits, KEY_BITS),
+                          (module_id, MODULE_ID_BITS)])
+
+
+def decode_tcam_entry(entry: int) -> Tuple[int, int, int]:
+    key, mask_bits, module_id = split_fields(
+        entry, [KEY_BITS, KEY_BITS, MODULE_ID_BITS])
+    return key, mask_bits, module_id
+
+
+FULL_KEY_MASK = (1 << KEY_BITS) - 1
+
+
+# ---------------------------------------------------------------------------
+# ALU actions (25 bits) and VLIW instructions (625 bits)
+# ---------------------------------------------------------------------------
+
+ALU_ACTION_BITS = DEFAULT_PARAMS.alu_action_bits  # 25
+
+ALU_TWO_OPERAND_LAYOUT = WordLayout(25, [
+    ("opcode", 4),
+    ("container_1", 5),
+    ("container_2", 5),
+    ("reserved", 11),
+])
+
+ALU_IMMEDIATE_LAYOUT = WordLayout(25, [
+    ("opcode", 4),
+    ("container_1", 5),
+    ("immediate", 16),
+])
+
+VLIW_ENTRY_BITS = DEFAULT_PARAMS.vliw_entry_bits  # 625
+NUM_ALUS = DEFAULT_PARAMS.num_containers          # 25
+
+
+def encode_vliw_entry(actions: List[int]) -> int:
+    """Pack 25 ALU-action words (flat container order, index 0 first as the
+    most-significant slot) into one 625-bit VLIW instruction."""
+    if len(actions) != NUM_ALUS:
+        raise EncodingError(f"VLIW needs {NUM_ALUS} actions, got {len(actions)}")
+    return concat_fields([(a, ALU_ACTION_BITS) for a in actions])
+
+
+def decode_vliw_entry(entry: int) -> List[int]:
+    return split_fields(entry, [ALU_ACTION_BITS] * NUM_ALUS)
+
+
+# ---------------------------------------------------------------------------
+# Segment table entry (16 bits)
+# ---------------------------------------------------------------------------
+
+SEGMENT_LAYOUT = WordLayout(16, [
+    ("offset", 8),
+    ("range", 8),
+])
+
+
+def encode_segment_entry(offset: int, range_: int) -> int:
+    """Pack a segment entry: base offset and range, both in words."""
+    return SEGMENT_LAYOUT.pack(offset=offset, range=range_)
+
+
+def decode_segment_entry(entry: int) -> Tuple[int, int]:
+    fields = SEGMENT_LAYOUT.unpack(entry)
+    return fields["offset"], fields["range"]

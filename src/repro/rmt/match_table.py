@@ -1,0 +1,182 @@
+"""Exact-match CAM and the Appendix-B ternary variant.
+
+The prototype implements exact matching with the Xilinx CAM IP: 205-bit
+words (193-bit key + 12-bit module ID), 16 entries per stage. Isolation
+comes from the module ID being part of every stored word and appended to
+every lookup key, so a module's packets can only ever hit that module's
+entries regardless of how entries are laid out.
+
+Appendix B extends the same block to ternary matching: each entry gains a
+mask, and priority on multiple matches is the entry *address* (lowest
+wins here). Allocating each module a contiguous address block lets rules
+be reordered within one module without disturbing any other module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..bits import check_fits
+from ..errors import ConfigError
+from .encodings import CAM_ENTRY_BITS, KEY_BITS, MODULE_ID_BITS, decode_cam_entry, encode_cam_entry
+from .params import DEFAULT_PARAMS, HardwareParams
+
+
+@dataclass
+class CamEntry:
+    """One valid CAM word, stored decomposed for readability."""
+
+    key: int          #: 193-bit masked key
+    module_id: int    #: 12-bit VID
+
+    def encode(self) -> int:
+        return encode_cam_entry(self.key, self.module_id)
+
+    @classmethod
+    def decode(cls, word: int) -> "CamEntry":
+        key, module_id = decode_cam_entry(word)
+        return cls(key=key, module_id=module_id)
+
+
+@dataclass
+class TernaryEntry:
+    """A ternary word: value/mask pair plus the owning module ID."""
+
+    key: int
+    mask: int         #: 1-bits participate in the match
+    module_id: int
+
+    def matches(self, lookup_key: int) -> bool:
+        return (lookup_key & self.mask) == (self.key & self.mask)
+
+
+class ExactMatchTable:
+    """Address-indexed exact-match CAM with module-ID-augmented entries."""
+
+    def __init__(self, depth: int = DEFAULT_PARAMS.match_entries_per_stage,
+                 params: HardwareParams = DEFAULT_PARAMS):
+        self.depth = depth
+        self.params = params
+        self._entries: List[Optional[CamEntry]] = [None] * depth
+        self.lookup_count = 0
+        self.hit_count = 0
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.depth:
+            raise ConfigError(f"CAM index {index} out of range [0, {self.depth})")
+
+    def write(self, index: int, key: int, module_id: int) -> None:
+        """Install an entry at ``index`` (control-plane path)."""
+        self._check_index(index)
+        check_fits(key, KEY_BITS, "CAM key")
+        check_fits(module_id, MODULE_ID_BITS, "module id")
+        entry = CamEntry(key=key, module_id=module_id)
+        # Exact-match CAMs must not hold duplicate words at two addresses:
+        # the lookup result would be ambiguous (§5.1 makes the compiler
+        # generate distinct entries for this reason).
+        for i, existing in enumerate(self._entries):
+            if (existing is not None and i != index
+                    and existing.key == key
+                    and existing.module_id == module_id):
+                raise ConfigError(
+                    f"duplicate CAM word at addresses {i} and {index}")
+        self._entries[index] = entry
+
+    def write_word(self, index: int, word: int) -> None:
+        """Install a raw 205-bit CAM word (reconfiguration-packet path)."""
+        check_fits(word, CAM_ENTRY_BITS, "CAM word")
+        entry = CamEntry.decode(word)
+        self.write(index, entry.key, entry.module_id)
+
+    def invalidate(self, index: int) -> None:
+        self._check_index(index)
+        self._entries[index] = None
+
+    def read(self, index: int) -> Optional[CamEntry]:
+        self._check_index(index)
+        return self._entries[index]
+
+    def lookup(self, key: int, module_id: int) -> Optional[int]:
+        """Return the address of the matching entry, or ``None`` on miss.
+
+        The module ID is appended to the search word, so a key can only
+        hit entries owned by the same module.
+        """
+        self.lookup_count += 1
+        for index, entry in enumerate(self._entries):
+            if (entry is not None and entry.key == key
+                    and entry.module_id == module_id):
+                self.hit_count += 1
+                return index
+        return None
+
+    def entries_of(self, module_id: int) -> List[int]:
+        """Addresses currently holding entries of ``module_id``."""
+        return [i for i, e in enumerate(self._entries)
+                if e is not None and e.module_id == module_id]
+
+    def occupancy(self) -> int:
+        return sum(1 for e in self._entries if e is not None)
+
+
+class TernaryMatchTable:
+    """Appendix-B ternary CAM: value/mask entries, address-order priority.
+
+    Lowest matching address wins, mirroring the Xilinx CAM IP's
+    configurable priority. Modules should occupy contiguous address
+    blocks so intra-module rule updates never move other modules' rules.
+    """
+
+    def __init__(self, depth: int = DEFAULT_PARAMS.match_entries_per_stage,
+                 params: HardwareParams = DEFAULT_PARAMS):
+        self.depth = depth
+        self.params = params
+        self._entries: List[Optional[TernaryEntry]] = [None] * depth
+        self.lookup_count = 0
+        self.hit_count = 0
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.depth:
+            raise ConfigError(
+                f"TCAM index {index} out of range [0, {self.depth})")
+
+    def write(self, index: int, key: int, mask: int, module_id: int) -> None:
+        self._check_index(index)
+        check_fits(key, KEY_BITS, "TCAM key")
+        check_fits(mask, KEY_BITS, "TCAM mask")
+        check_fits(module_id, MODULE_ID_BITS, "module id")
+        self._entries[index] = TernaryEntry(key=key, mask=mask,
+                                            module_id=module_id)
+
+    def write_word(self, index: int, word: int) -> None:
+        """Install a raw 398-bit ternary word (reconfiguration path)."""
+        from .encodings import TCAM_ENTRY_BITS, decode_tcam_entry
+        check_fits(word, TCAM_ENTRY_BITS, "TCAM word")
+        key, mask, module_id = decode_tcam_entry(word)
+        self.write(index, key, mask, module_id)
+
+    def invalidate(self, index: int) -> None:
+        self._check_index(index)
+        self._entries[index] = None
+
+    def read(self, index: int) -> Optional[TernaryEntry]:
+        self._check_index(index)
+        return self._entries[index]
+
+    def lookup(self, key: int, module_id: int) -> Optional[int]:
+        """Lowest-address ternary match within the module's entries."""
+        self.lookup_count += 1
+        for index, entry in enumerate(self._entries):
+            if (entry is not None and entry.module_id == module_id
+                    and entry.matches(key)):
+                self.hit_count += 1
+                return index
+        return None
+
+    def entries_of(self, module_id: int) -> List[int]:
+        return [i for i, e in enumerate(self._entries)
+                if e is not None and e.module_id == module_id]
+
+    def occupancy(self) -> int:
+        return sum(1 for e in self._entries if e is not None)

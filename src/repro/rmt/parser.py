@@ -1,0 +1,130 @@
+"""Table-driven programmable parser (§3.1, Fig. 3).
+
+For each packet, the parser:
+
+1. extracts the module ID from the VLAN VID at a fixed offset (this step
+   is hardwired, not programmable),
+2. looks up the module's 160-bit parser-table entry,
+3. executes up to 10 parse actions, each copying ``container_size`` bytes
+   at ``bytes_from_head`` into a PHV container,
+4. fills in pipeline-generated metadata (packet length, source port,
+   module ID).
+
+The PHV starts zeroed for every packet — the paper's defense against
+container contents leaking between modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigError, PacketError
+from ..net.packet import Packet
+from .config_table import ConfigTable
+from .encodings import (
+    decode_parse_action,
+    decode_parser_entry,
+    encode_parse_action,
+    encode_parser_entry,
+)
+from .params import DEFAULT_PARAMS, HardwareParams
+from .phv import PHV, ContainerRef, ContainerType
+
+#: Byte offset of the VLAN TCI inside an Ethernet+802.1Q frame.
+VLAN_TCI_OFFSET = 14
+
+
+@dataclass(frozen=True)
+class ParseAction:
+    """A decoded parse action: copy bytes from the packet into a container."""
+
+    bytes_from_head: int
+    container: ContainerRef
+    valid: bool = True
+
+    def encode(self) -> int:
+        return encode_parse_action(
+            bytes_from_head=self.bytes_from_head,
+            container_type=int(self.container.ctype),
+            container_index=self.container.index,
+            valid=1 if self.valid else 0,
+        )
+
+    @classmethod
+    def decode(cls, word: int) -> "ParseAction":
+        fields = decode_parse_action(word)
+        return cls(
+            bytes_from_head=fields["bytes_from_head"],
+            container=ContainerRef(ContainerType(fields["container_type"]),
+                                   fields["container_index"]),
+            valid=bool(fields["valid"]),
+        )
+
+
+def extract_module_id(packet: Packet) -> int:
+    """Read the 12-bit VID (module ID) from the fixed VLAN TCI offset."""
+    if len(packet) < VLAN_TCI_OFFSET + 2:
+        raise PacketError("packet too short to carry a VLAN tag")
+    tci = packet.read_int(VLAN_TCI_OFFSET, 2)
+    return tci & 0xFFF
+
+
+class ProgrammableParser:
+    """Executes per-module parse programs stored in a parser table.
+
+    The table is any object exposing ``read(index) -> int`` over 160-bit
+    entries — a plain :class:`~repro.rmt.config_table.ConfigTable` for a
+    single-module RMT baseline or a Menshen overlay table.
+    """
+
+    def __init__(self, table: ConfigTable,
+                 params: HardwareParams = DEFAULT_PARAMS):
+        self.table = table
+        self.params = params
+
+    def install_program(self, module_id: int,
+                        actions: List[ParseAction]) -> int:
+        """Encode and write a module's parse program; returns the entry."""
+        if len(actions) > self.params.parse_actions_per_entry:
+            raise ConfigError(
+                f"module {module_id}: {len(actions)} parse actions exceed "
+                f"the limit of {self.params.parse_actions_per_entry}")
+        entry = encode_parser_entry([a.encode() for a in actions])
+        self.table.write(module_id, entry)
+        return entry
+
+    def read_program(self, module_id: int) -> List[ParseAction]:
+        """Decode a module's installed parse program (valid actions only)."""
+        entry = self.table.read(module_id)
+        actions = [ParseAction.decode(w) for w in decode_parser_entry(entry)]
+        return [a for a in actions if a.valid]
+
+    def parse(self, packet: Packet, module_id: int) -> PHV:
+        """Run the module's parse program over the packet; returns a PHV.
+
+        Only the first ``parse_window_bytes`` (128) of the packet are
+        addressable, matching the prototype. Parse actions that would
+        read past the end of the packet fault with
+        :class:`~repro.errors.PacketError` — a module cannot read beyond
+        its own packet.
+        """
+        phv = PHV(self.params)  # zeroed per packet
+        window = min(len(packet), self.params.parse_window_bytes)
+        for action in self.read_program(module_id):
+            size = action.container.size_bytes
+            if action.container.ctype == ContainerType.META:
+                raise ConfigError("parse actions cannot target metadata")
+            end = action.bytes_from_head + size
+            if end > window:
+                raise PacketError(
+                    f"parse action reads [{action.bytes_from_head}:{end}) "
+                    f"past the {window}-byte parse window")
+            data = packet.read_bytes(action.bytes_from_head, size)
+            phv.set_bytes(action.container, data)
+
+        meta = phv.metadata
+        meta.pkt_len = min(len(packet), 0xFFFF)
+        meta.src_port = packet.ingress_port
+        meta.module_id = module_id
+        return phv

@@ -1,0 +1,310 @@
+"""Packet Header Vector (PHV) and container addressing.
+
+The PHV is the bus that carries parsed headers through the pipeline. The
+prototype's PHV (§4.1) is 128 bytes: 8 containers each of 2, 4, and 6
+bytes (24 data containers) plus one 32-byte platform-metadata container,
+for 25 containers total — one ALU per container.
+
+Isolation property reproduced here: a PHV is **zeroed for every incoming
+packet** so no container contents can leak between modules (§4.1).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError, FieldRangeError
+from .params import DEFAULT_PARAMS, HardwareParams
+
+
+class ContainerType(IntEnum):
+    """2-bit container type code used in parse actions and operand refs."""
+
+    B2 = 0   #: 2-byte container
+    B4 = 1   #: 4-byte container
+    B6 = 2   #: 6-byte container
+    META = 3 #: the single 32-byte metadata container (not ALU-addressable)
+
+    @property
+    def size_bytes(self) -> int:
+        return {ContainerType.B2: 2, ContainerType.B4: 4,
+                ContainerType.B6: 6, ContainerType.META: 32}[self]
+
+
+class ContainerRef:
+    """A (type, index) reference to one PHV container.
+
+    Encodes to the 5-bit operand format used by ALU actions:
+    ``type(2b) | index(3b)``.
+    """
+
+    __slots__ = ("ctype", "index")
+
+    def __init__(self, ctype: ContainerType, index: int):
+        ctype = ContainerType(ctype)
+        limit = 1 if ctype == ContainerType.META else 8
+        if not 0 <= index < limit:
+            raise FieldRangeError(
+                f"container index {index} out of range for {ctype.name}")
+        self.ctype = ctype
+        self.index = index
+
+    def encode5(self) -> int:
+        """5-bit encoding: type in bits 4:3, index in bits 2:0."""
+        return (int(self.ctype) << 3) | self.index
+
+    @classmethod
+    def decode5(cls, code: int) -> "ContainerRef":
+        if not 0 <= code < 32:
+            raise FieldRangeError(f"5-bit container code out of range: {code}")
+        return cls(ContainerType((code >> 3) & 0x3), code & 0x7)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.ctype.size_bytes
+
+    @property
+    def flat_index(self) -> int:
+        """Global ALU/container index 0..24 (2B: 0-7, 4B: 8-15, 6B: 16-23,
+        metadata: 24)."""
+        if self.ctype == ContainerType.META:
+            return 24
+        return int(self.ctype) * 8 + self.index
+
+    @classmethod
+    def from_flat(cls, flat: int) -> "ContainerRef":
+        if not 0 <= flat <= 24:
+            raise FieldRangeError(f"flat container index out of range: {flat}")
+        if flat == 24:
+            return cls(ContainerType.META, 0)
+        return cls(ContainerType(flat // 8), flat % 8)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ContainerRef):
+            return self.ctype == other.ctype and self.index == other.index
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.ctype, self.index))
+
+    def __repr__(self) -> str:
+        return f"ContainerRef({self.ctype.name}, {self.index})"
+
+
+class Metadata:
+    """The 32-byte platform-metadata container, with named fields.
+
+    Byte layout (a documented choice; the paper fixes the size at 32 B and
+    names the contents — drop indication, destination port, source port,
+    packet length, packet-buffer tag, queueing timestamps — but not their
+    offsets):
+
+    ====== ===== =========================================
+    offset bytes field
+    ====== ===== =========================================
+    0      1     flags (bit 0 = discard)
+    1      1     packet-buffer tag (4-bit one-hot, §3.2)
+    2      2     destination port
+    4      2     source port
+    6      2     packet length
+    8      2     multicast group (0 = unicast)
+    10     4     enqueue timestamp (cycles)
+    14     4     queueing delay (cycles)
+    18     2     module ID (VLAN ID, carried alongside the PHV)
+    20     12    scratch for temporary packet headers
+    ====== ===== =========================================
+    """
+
+    SIZE = 32
+
+    _FIELDS: Dict[str, Tuple[int, int]] = {
+        "flags": (0, 1),
+        "buffer_tag": (1, 1),
+        "dst_port": (2, 2),
+        "src_port": (4, 2),
+        "pkt_len": (6, 2),
+        "mcast_group": (8, 2),
+        "enq_timestamp": (10, 4),
+        "queue_delay": (14, 4),
+        "module_id": (18, 2),
+    }
+
+    FLAG_DISCARD = 0x01
+
+    def __init__(self) -> None:
+        self.buf = bytearray(self.SIZE)
+
+    def _get(self, name: str) -> int:
+        off, ln = self._FIELDS[name]
+        return int.from_bytes(self.buf[off:off + ln], "big")
+
+    def _set(self, name: str, value: int) -> None:
+        off, ln = self._FIELDS[name]
+        if value < 0 or value >= (1 << (8 * ln)):
+            raise FieldRangeError(f"metadata {name}={value} out of range")
+        self.buf[off:off + ln] = value.to_bytes(ln, "big")
+
+    # Named accessors — explicit beats dynamic attribute magic here.
+    @property
+    def discard(self) -> bool:
+        return bool(self._get("flags") & self.FLAG_DISCARD)
+
+    @discard.setter
+    def discard(self, value: bool) -> None:
+        flags = self._get("flags")
+        if value:
+            flags |= self.FLAG_DISCARD
+        else:
+            flags &= ~self.FLAG_DISCARD
+        self._set("flags", flags)
+
+    @property
+    def buffer_tag(self) -> int:
+        return self._get("buffer_tag")
+
+    @buffer_tag.setter
+    def buffer_tag(self, value: int) -> None:
+        self._set("buffer_tag", value)
+
+    @property
+    def dst_port(self) -> int:
+        return self._get("dst_port")
+
+    @dst_port.setter
+    def dst_port(self, value: int) -> None:
+        self._set("dst_port", value)
+
+    @property
+    def src_port(self) -> int:
+        return self._get("src_port")
+
+    @src_port.setter
+    def src_port(self, value: int) -> None:
+        self._set("src_port", value)
+
+    @property
+    def pkt_len(self) -> int:
+        return self._get("pkt_len")
+
+    @pkt_len.setter
+    def pkt_len(self, value: int) -> None:
+        self._set("pkt_len", value)
+
+    @property
+    def mcast_group(self) -> int:
+        return self._get("mcast_group")
+
+    @mcast_group.setter
+    def mcast_group(self, value: int) -> None:
+        self._set("mcast_group", value)
+
+    @property
+    def enq_timestamp(self) -> int:
+        return self._get("enq_timestamp")
+
+    @enq_timestamp.setter
+    def enq_timestamp(self, value: int) -> None:
+        self._set("enq_timestamp", value)
+
+    @property
+    def queue_delay(self) -> int:
+        return self._get("queue_delay")
+
+    @queue_delay.setter
+    def queue_delay(self, value: int) -> None:
+        self._set("queue_delay", value)
+
+    @property
+    def module_id(self) -> int:
+        return self._get("module_id")
+
+    @module_id.setter
+    def module_id(self, value: int) -> None:
+        self._set("module_id", value)
+
+    def copy(self) -> "Metadata":
+        dup = Metadata()
+        dup.buf = bytearray(self.buf)
+        return dup
+
+
+class PHV:
+    """A packet header vector: 24 data containers + metadata.
+
+    Container values are unsigned ints bounded by each container's byte
+    width. A fresh PHV is all-zero (the hardware zeroes the PHV per
+    packet to prevent cross-module leaks).
+    """
+
+    def __init__(self, params: HardwareParams = DEFAULT_PARAMS):
+        self.params = params
+        # values[ctype][index]
+        self._values: Dict[ContainerType, List[int]] = {
+            ContainerType.B2: [0] * params.containers_per_type,
+            ContainerType.B4: [0] * params.containers_per_type,
+            ContainerType.B6: [0] * params.containers_per_type,
+        }
+        self.metadata = Metadata()
+
+    # -- container access ------------------------------------------------------
+
+    def get(self, ref: ContainerRef) -> int:
+        if ref.ctype == ContainerType.META:
+            raise ConfigError("metadata container is not directly readable; "
+                              "use .metadata fields")
+        return self._values[ref.ctype][ref.index]
+
+    def set(self, ref: ContainerRef, value: int) -> None:
+        if ref.ctype == ContainerType.META:
+            raise ConfigError("metadata container is not directly writable; "
+                              "use .metadata fields")
+        limit = 1 << (8 * ref.size_bytes)
+        if value < 0 or value >= limit:
+            raise FieldRangeError(
+                f"value {value:#x} does not fit {ref.size_bytes}-byte "
+                f"container {ref!r}")
+        self._values[ref.ctype][ref.index] = value
+
+    def set_wrapping(self, ref: ContainerRef, value: int) -> None:
+        """Set a container, truncating to its width (ALU wraparound)."""
+        self._values[ref.ctype][ref.index] = value % (1 << (8 * ref.size_bytes))
+
+    def get_bytes(self, ref: ContainerRef) -> bytes:
+        return self.get(ref).to_bytes(ref.size_bytes, "big")
+
+    def set_bytes(self, ref: ContainerRef, data: bytes) -> None:
+        if len(data) != ref.size_bytes:
+            raise FieldRangeError(
+                f"{ref!r} needs {ref.size_bytes} bytes, got {len(data)}")
+        self._values[ref.ctype][ref.index] = int.from_bytes(data, "big")
+
+    def is_zero(self) -> bool:
+        """True if every data container and metadata byte is zero."""
+        data_zero = all(v == 0 for vals in self._values.values() for v in vals)
+        return data_zero and all(b == 0 for b in self.metadata.buf)
+
+    def copy(self) -> "PHV":
+        dup = PHV(self.params)
+        for ctype, vals in self._values.items():
+            dup._values[ctype] = list(vals)
+        dup.metadata = self.metadata.copy()
+        return dup
+
+    def containers(self) -> List[Tuple[ContainerRef, int]]:
+        """All (ref, value) pairs of the 24 data containers."""
+        out = []
+        for ctype in (ContainerType.B2, ContainerType.B4, ContainerType.B6):
+            for index, value in enumerate(self._values[ctype]):
+                out.append((ContainerRef(ctype, index), value))
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PHV):
+            return NotImplemented
+        return (self._values == other._values
+                and self.metadata.buf == other.metadata.buf)
+
+    def __repr__(self) -> str:
+        nonzero = [(r, v) for r, v in self.containers() if v]
+        return f"PHV({len(nonzero)} nonzero containers)"

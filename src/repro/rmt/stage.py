@@ -1,0 +1,153 @@
+"""One match-action stage (Fig. 4): key extraction, CAM lookup, VLIW
+action execution, and stateful memory.
+
+A stage owns its configuration tables. They are created through a
+``table_factory`` so the same class serves both the baseline RMT (plain
+single-entry :class:`~repro.rmt.config_table.ConfigTable`) and Menshen
+(per-module overlay tables) — the stage logic itself is identical, which
+is exactly the paper's point: isolation comes from the *configuration
+storage*, not from different processing logic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from .action import VliwInstruction
+from .action_engine import ActionEngine, StatefulAccess
+from .config_table import ConfigTable
+from .key_extractor import KeyExtractor
+from .match_table import ExactMatchTable
+from .params import DEFAULT_PARAMS, HardwareParams
+from .phv import PHV
+from .stateful import StatefulMemory
+
+TableFactory = Callable[[str, int, int], ConfigTable]
+
+
+def default_table_factory(name: str, width_bits: int, depth: int) -> ConfigTable:
+    return ConfigTable(name, width_bits, depth)
+
+
+class Stage:
+    """A complete match-action stage.
+
+    Parameters
+    ----------
+    index:
+        Stage number (0-based), used in table names and resource IDs.
+    params:
+        Hardware dimensions.
+    table_factory:
+        Creates the stage's config tables; Menshen passes an
+        overlay-table factory here.
+    config_depth:
+        Depth of the per-module config tables (1 for baseline RMT,
+        32 for Menshen).
+    stateful_access:
+        Optional adapter class wrapping this stage's stateful memory;
+        defaults to the identity :class:`StatefulAccess`.
+    """
+
+    def __init__(self, index: int,
+                 params: HardwareParams = DEFAULT_PARAMS,
+                 table_factory: TableFactory = default_table_factory,
+                 config_depth: Optional[int] = None,
+                 stateful_access_cls: type = StatefulAccess,
+                 match_mode: str = "exact",
+                 enable_default_actions: bool = False):
+        self.index = index
+        self.params = params
+        self.match_mode = match_mode
+        self.enable_default_actions = enable_default_actions
+        depth = config_depth if config_depth is not None else params.key_extractor_depth
+
+        prefix = f"stage{index}"
+        self.key_extract_table = table_factory(
+            f"{prefix}.key_extractor", params.key_extractor_entry_bits, depth)
+        self.key_mask_table = table_factory(
+            f"{prefix}.key_mask", params.key_bits, depth)
+        self.vliw_table = table_factory(
+            f"{prefix}.vliw_action", params.vliw_entry_bits,
+            params.vliw_entries_per_stage)
+        # Extension beyond the paper's prototype: an optional per-module
+        # default-action table executed on CAM miss (P4's
+        # default_action). A zero word is all-NOPs, i.e. "no default".
+        self.default_vliw_table: Optional[ConfigTable] = None
+        if enable_default_actions:
+            self.default_vliw_table = table_factory(
+                f"{prefix}.default_vliw", params.vliw_entry_bits, depth)
+
+        self.key_extractor = KeyExtractor(self.key_extract_table,
+                                          self.key_mask_table, params)
+        if match_mode == "exact":
+            self.match_table = ExactMatchTable(
+                params.match_entries_per_stage, params)
+        elif match_mode == "ternary":
+            # Appendix B: same CAM block in ternary mode; priority is
+            # the entry address (contiguous per-module blocks).
+            from .match_table import TernaryMatchTable
+            self.match_table = TernaryMatchTable(
+                params.match_entries_per_stage, params)
+        else:
+            from ..errors import ConfigError
+            raise ConfigError(f"unknown match mode {match_mode!r}")
+        self.stateful_memory = StatefulMemory(params.stateful_words_per_stage,
+                                              params.stateful_word_bits)
+        self.stateful_access = stateful_access_cls(self.stateful_memory)
+        self.engine = ActionEngine(self.stateful_access)
+
+        # Decode cache: VLIW decoding is hot in packet-rate experiments.
+        self._vliw_cache: Dict[int, Tuple[int, VliwInstruction]] = {}
+
+        self.packets_processed = 0
+        self.misses = 0
+
+    def set_stateful_access(self, access: StatefulAccess) -> None:
+        """Swap the stateful-memory adapter (Menshen installs segment-table
+        translation here) and rewire the action engine to it."""
+        self.stateful_access = access
+        self.engine = ActionEngine(access)
+
+    # -- control plane --------------------------------------------------------
+
+    def install_vliw(self, index: int, instruction: VliwInstruction) -> None:
+        """Write a VLIW instruction at action-table address ``index``."""
+        self.vliw_table.write(index, instruction.encode())
+        self._vliw_cache.pop(index, None)
+
+    def write_vliw_word(self, index: int, word: int) -> None:
+        """Raw word write (reconfiguration-packet path)."""
+        self.vliw_table.write(index, word)
+        self._vliw_cache.pop(index, None)
+
+    def _decode_vliw(self, index: int) -> VliwInstruction:
+        word = self.vliw_table.read(index)
+        cached = self._vliw_cache.get(index)
+        if cached is not None and cached[0] == word:
+            return cached[1]
+        instruction = VliwInstruction.decode(word)
+        self._vliw_cache[index] = (word, instruction)
+        return instruction
+
+    # -- data plane ------------------------------------------------------------
+
+    def process(self, phv: PHV, module_id: int) -> PHV:
+        """Run one PHV through this stage for ``module_id``.
+
+        A CAM miss leaves the PHV unchanged (no default actions in the
+        prototype).
+        """
+        self.packets_processed += 1
+        key = self.key_extractor.extract(phv, module_id)
+        hit = self.match_table.lookup(key, module_id)
+        if hit is None:
+            self.misses += 1
+            if self.default_vliw_table is not None:
+                word = self.default_vliw_table.read(module_id)
+                if word:
+                    return self.engine.execute(
+                        VliwInstruction.decode(word), phv, module_id)
+            return phv
+        instruction = self._decode_vliw(hit)
+        return self.engine.execute(instruction, phv, module_id)

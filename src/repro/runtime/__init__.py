@@ -1,0 +1,28 @@
+"""Runtime: the software side of Menshen (§3.4, §4.2).
+
+* :mod:`~repro.runtime.interface` — the P4Runtime-like
+  software-to-hardware interface: configuration writes as
+  reconfiguration packets, register access, statistics.
+* :mod:`~repro.runtime.controller` — module lifecycle: compile, admit,
+  install (with the §4.1 bitmap/counter protocol), update without
+  disrupting other modules, unload; plus per-module table entry
+  management.
+* :mod:`~repro.runtime.axi_lite` — the Appendix-A AXI-Lite configuration
+  cost model (the alternative Menshen rejected).
+* :mod:`~repro.runtime.tofino_model` — a Tofino-like baseline cost
+  model: per-entry runtime-API cost and full-pipeline Fast-Refresh
+  disruption on any module update.
+"""
+
+from .interface import SoftwareHardwareInterface
+from .controller import MenshenController, LoadedModule
+from .axi_lite import AxiLiteModel
+from .tofino_model import TofinoModel
+
+__all__ = [
+    "SoftwareHardwareInterface",
+    "MenshenController",
+    "LoadedModule",
+    "AxiLiteModel",
+    "TofinoModel",
+]

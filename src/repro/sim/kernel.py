@@ -1,0 +1,83 @@
+"""A minimal discrete-event simulation kernel.
+
+Classic event-queue design: events are (time, sequence, callback)
+triples in a heap; :meth:`Simulator.run` pops them in time order. The
+sequence number makes simultaneous events deterministic (FIFO) and keeps
+heap comparisons away from unorderable callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import ReproError
+
+
+class SimulationError(ReproError):
+    """Scheduling into the past or other kernel misuse."""
+
+
+@dataclass(order=True)
+class Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Event-driven simulator with a virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Event] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(self, delay: float,
+                 callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        event = Event(time=self.now + delay, seq=self._seq,
+                      callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], None]) -> Event:
+        """Schedule at an absolute virtual time."""
+        return self.schedule(time - self.now, callback)
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Process events until the queue empties, ``until`` passes, or
+        ``max_events`` fire. Returns the final clock value."""
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            processed += 1
+            self.events_processed += 1
+        else:
+            if until is not None:
+                self.now = until
+        return self.now
+
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

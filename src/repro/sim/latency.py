@@ -1,0 +1,90 @@
+"""Pipeline latency model (§5.2 cycle counts, Fig. 11d).
+
+The paper publishes four calibration points for unloaded pipeline
+latency (cycles from ingress to egress):
+
+=========  ======  ========
+platform   64 B    1500 B
+=========  ======  ========
+NetFPGA    79      146
+Corundum   106     112
+=========  ======  ========
+
+Latency grows with packet size because both header and payload must
+stream through; a linear fit ``cycles(S) = a + b*S`` through each
+platform's two points reproduces the published numbers exactly and
+interpolates between them.
+
+Fig. 11d measures *sampled packet latency at full rate*, which adds
+buffering/queueing on top: modeled as ``c0 + k*beats(S)`` extra cycles,
+calibrated to the figure's ~1.0-1.25 us range on Corundum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Linear cycle model for one platform."""
+
+    name: str
+    clock_hz: float
+    bus_bytes: int
+    #: calibration points: (size_bytes, cycles)
+    point_small: tuple = (64, 79)
+    point_large: tuple = (1500, 146)
+    #: full-rate buffering overhead: cycles = c0 + k * beats(S)
+    fullrate_c0: float = 139.0
+    fullrate_k: float = 2.5
+
+    @property
+    def slope(self) -> float:
+        (s0, c0), (s1, c1) = self.point_small, self.point_large
+        return (c1 - c0) / (s1 - s0)
+
+    @property
+    def intercept(self) -> float:
+        s0, c0 = self.point_small
+        return c0 - self.slope * s0
+
+    def cycles(self, size: int) -> float:
+        """Unloaded pipeline latency in clock cycles."""
+        return self.intercept + self.slope * size
+
+    def latency_ns(self, size: int) -> float:
+        return self.cycles(size) / self.clock_hz * 1e9
+
+    def fullrate_cycles(self, size: int) -> float:
+        """Latency at full offered load (pipeline + buffering)."""
+        beats = math.ceil(size / self.bus_bytes)
+        return self.cycles(size) + self.fullrate_c0 + self.fullrate_k * beats
+
+    def fullrate_latency_us(self, size: int) -> float:
+        return self.fullrate_cycles(size) / self.clock_hz * 1e6
+
+    def sweep(self, sizes: List[int]) -> List[Dict]:
+        return [
+            {
+                "size_B": size,
+                "cycles": round(self.cycles(size), 1),
+                "latency_ns": round(self.latency_ns(size), 1),
+                "fullrate_latency_us": round(
+                    self.fullrate_latency_us(size), 3),
+            }
+            for size in sizes
+        ]
+
+
+#: NetFPGA SUME: 156.25 MHz, 256-bit AXI-S. 79 cycles @64 B = 505.6 ns.
+NETFPGA_LATENCY = LatencyModel(
+    name="netfpga", clock_hz=156.25e6, bus_bytes=32,
+    point_small=(64, 79), point_large=(1500, 146))
+
+#: Corundum: 250 MHz, 512-bit AXI-S. 106 cycles @64 B = 424 ns.
+CORUNDUM_LATENCY = LatencyModel(
+    name="corundum", clock_hz=250e6, bus_bytes=64,
+    point_small=(64, 106), point_large=(1500, 112))

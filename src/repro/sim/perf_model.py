@@ -1,0 +1,161 @@
+"""Analytic throughput model of the Menshen datapath (§3.2, §5.2).
+
+The pipeline forwards at the rate of its slowest element. Each element's
+cost per packet is measured in *initiation-interval* cycles (how often
+it can accept a new packet), expressed in bus beats
+(``ceil(bytes / bus_width)``):
+
+* **ingress/filter**: the packet must stream in — ``beats(S)`` plus a
+  small fixed cost;
+* **parser**: streams the parseable prefix (``beats(min(S, 128))`` + c);
+  the optimized design runs 2 parsers round-robin, halving the
+  effective interval;
+* **match-action stage**: size-independent; 4 cycles per PHV
+  unoptimized, 2 with §3.2's deep pipelining (CAM lookup and action-RAM
+  read become separate sub-elements);
+* **deparser**: the most expensive element — it re-reads the buffered
+  packet, overwrites header bytes, and streams the merged packet out.
+  Modeled as ``ceil(k * beats(S)) + c`` with ``k = 1.5`` (read + partial
+  second pass), calibrated so the unoptimized Corundum tops out near
+  80 Gbit/s at MTU as measured (Fig. 11c); the optimized design runs 4
+  deparsers with private buffers.
+
+Throughput claims: layer-1 rates count the 20 B per-packet Ethernet
+overhead (preamble + IFG); layer-2 counts frame bytes only; both cap at
+the port's line rate. We reproduce the *shape* of Fig. 11 — saturation
+points and the optimized/unoptimized gap — not exact megabits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: Ethernet layer-1 per-packet overhead: preamble(8) + IFG(12) bytes.
+L1_OVERHEAD_BYTES = 20
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One platform/design point of the Menshen prototype."""
+
+    name: str
+    clock_hz: float
+    bus_bytes: int
+    line_rate_bps: float
+    num_parsers: int = 2          #: §3.2 optimization y
+    num_deparsers: int = 4        #: §3.2 optimization y
+    stage_ii_cycles: int = 2      #: §3.2 optimization z (4 unoptimized)
+    parse_window: int = 128
+    ingress_fixed_cycles: int = 1
+    parser_fixed_cycles: int = 1
+    deparser_fixed_cycles: int = 4
+    deparser_beat_factor: float = 1.5
+
+    def beats(self, nbytes: int) -> int:
+        return max(1, math.ceil(nbytes / self.bus_bytes))
+
+    # -- per-element initiation intervals (cycles/packet) -----------------------
+
+    def ingress_ii(self, size: int) -> float:
+        return self.beats(size) + self.ingress_fixed_cycles
+
+    def parser_ii(self, size: int) -> float:
+        prefix = min(size, self.parse_window)
+        single = self.beats(prefix) + self.parser_fixed_cycles
+        return single / self.num_parsers
+
+    def stage_ii(self, size: int) -> float:
+        return float(self.stage_ii_cycles)
+
+    def deparser_ii(self, size: int) -> float:
+        single = (math.ceil(self.deparser_beat_factor * self.beats(size))
+                  + self.deparser_fixed_cycles)
+        return single / self.num_deparsers
+
+    def bottleneck_ii(self, size: int) -> float:
+        return max(self.ingress_ii(size), self.parser_ii(size),
+                   self.stage_ii(size), self.deparser_ii(size))
+
+    def bottleneck_element(self, size: int) -> str:
+        intervals = {
+            "ingress": self.ingress_ii(size),
+            "parser": self.parser_ii(size),
+            "stage": self.stage_ii(size),
+            "deparser": self.deparser_ii(size),
+        }
+        return max(intervals, key=intervals.get)
+
+    def pipeline_pps(self, size: int) -> float:
+        """Packets/second the pipeline alone could forward."""
+        return self.clock_hz / self.bottleneck_ii(size)
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One point of a Fig. 11 curve."""
+
+    size: int
+    l1_gbps: float
+    l2_gbps: float
+    pps_millions: float
+    bottleneck: str
+    line_limited: bool
+
+
+def throughput_at(spec: PlatformSpec, size: int) -> ThroughputPoint:
+    """Throughput of ``spec`` at one packet size."""
+    pipeline_pps = spec.pipeline_pps(size)
+    line_pps = spec.line_rate_bps / ((size + L1_OVERHEAD_BYTES) * 8)
+    pps = min(pipeline_pps, line_pps)
+    return ThroughputPoint(
+        size=size,
+        l1_gbps=pps * (size + L1_OVERHEAD_BYTES) * 8 / 1e9,
+        l2_gbps=pps * size * 8 / 1e9,
+        pps_millions=pps / 1e6,
+        bottleneck=("line" if line_pps <= pipeline_pps
+                    else spec.bottleneck_element(size)),
+        line_limited=line_pps <= pipeline_pps,
+    )
+
+
+def throughput_sweep(spec: PlatformSpec,
+                     sizes: List[int]) -> List[ThroughputPoint]:
+    return [throughput_at(spec, size) for size in sizes]
+
+
+#: Fig. 11a: optimized Menshen on NetFPGA SUME (10 G test port).
+NETFPGA_OPTIMIZED = PlatformSpec(
+    name="netfpga-optimized", clock_hz=156.25e6, bus_bytes=32,
+    line_rate_bps=10e9)
+
+#: Fig. 11b: optimized Menshen on Corundum (100 G).
+CORUNDUM_OPTIMIZED = PlatformSpec(
+    name="corundum-optimized", clock_hz=250e6, bus_bytes=64,
+    line_rate_bps=100e9)
+
+#: Fig. 11c: unoptimized Menshen on Corundum: 1 parser, 1 deparser,
+#: 4-cycle stages.
+CORUNDUM_UNOPTIMIZED = PlatformSpec(
+    name="corundum-unoptimized", clock_hz=250e6, bus_bytes=64,
+    line_rate_bps=100e9, num_parsers=1, num_deparsers=1,
+    stage_ii_cycles=4)
+
+#: Packet-size sweeps used in the paper's figures.
+FIG11A_SIZES = [64, 96, 128, 256, 512]
+FIG11BCD_SIZES = [70, 128, 256, 512, 768, 1024, 1500]
+
+
+def fig11_table(spec: PlatformSpec, sizes: List[int]) -> List[Dict]:
+    """Figure series as plain dict rows (benchmark output)."""
+    return [
+        {
+            "size_B": p.size,
+            "layer1_Gbps": round(p.l1_gbps, 2),
+            "layer2_Gbps": round(p.l2_gbps, 2),
+            "Mpps": round(p.pps_millions, 2),
+            "bottleneck": p.bottleneck,
+        }
+        for p in throughput_sweep(spec, sizes)
+    ]

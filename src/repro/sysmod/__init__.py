@@ -1,0 +1,13 @@
+"""The Menshen system-level module (§3.3)."""
+
+from .system_module import (
+    SYSTEM_P4_SOURCE,
+    install_system_entries,
+    setup_system_module,
+)
+
+__all__ = [
+    "SYSTEM_P4_SOURCE",
+    "install_system_entries",
+    "setup_system_module",
+]

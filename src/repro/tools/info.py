@@ -1,0 +1,47 @@
+"""``python -m repro.tools.info`` — print the hardware parameters.
+
+Dumps the Table-5 design point (and the derived geometry) the library
+models, plus the table inventory used by the area models.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..rmt.params import CORUNDUM_PARAMS, DEFAULT_PARAMS, NETFPGA_PARAMS
+
+
+def main(argv=None) -> int:
+    p = DEFAULT_PARAMS
+    print("Menshen prototype hardware parameters (paper Table 5)")
+    print(f"  PHV: {p.containers_per_type} containers each of "
+          f"{p.container_sizes} bytes + {p.metadata_bytes} B metadata "
+          f"= {p.phv_bytes} B, {p.num_containers} ALUs")
+    print(f"  parser/deparser: {p.parse_actions_per_entry} actions x "
+          f"{p.parse_action_bits} b = {p.parser_entry_bits}-bit entries, "
+          f"{p.parser_table_depth} deep")
+    print(f"  key: {p.key_bytes} B + predicate flag = {p.key_bits} bits; "
+          f"CAM word {p.cam_entry_bits} bits x "
+          f"{p.match_entries_per_stage} entries/stage")
+    print(f"  VLIW: {p.num_containers} x {p.alu_action_bits} b = "
+          f"{p.vliw_entry_bits}-bit instructions, "
+          f"{p.vliw_entries_per_stage} deep")
+    print(f"  stateful: {p.stateful_words_per_stage} x "
+          f"{p.stateful_word_bits}-bit words/stage, segment entries "
+          f"{p.segment_entry_bits} b x {p.segment_table_depth}")
+    print(f"  pipeline: {p.num_stages} stages, module id "
+          f"{p.module_id_bits} bits, max {p.max_modules} modules")
+    print("platforms:")
+    for name, plat in [("NetFPGA SUME", NETFPGA_PARAMS),
+                       ("Corundum", CORUNDUM_PARAMS)]:
+        print(f"  {name}: {plat.clock_mhz} MHz, {plat.bus_width_bits}-bit "
+              f"bus ({plat.bus_bytes} B/cycle)")
+    print("table inventory (width_bits x depth, per_stage):")
+    for table, spec in p.table_inventory().items():
+        print(f"  {table}: {spec['width_bits']} x {spec['depth']}"
+              f"{'  (per stage)' if spec['per_stage'] else ''}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Traffic generation: MoonGen/Spirent stand-ins for the experiments."""
+
+from .generator import PacketGenerator, SizeSweep
+from .workloads import (
+    module_stream,
+    mixed_module_stream,
+    fig10_workload,
+)
+from .pcap import load_pcap, read_pcap, save_pcap, write_pcap
+
+__all__ = [
+    "PacketGenerator",
+    "SizeSweep",
+    "module_stream",
+    "mixed_module_stream",
+    "fig10_workload",
+    "load_pcap",
+    "read_pcap",
+    "save_pcap",
+    "write_pcap",
+]

@@ -1,0 +1,84 @@
+"""Minimal pcap (libpcap classic format) reader/writer.
+
+Lets experiment traffic be exported to, and replayed from, standard
+capture files — so the simulated pipeline's inputs/outputs can be
+inspected with ordinary tools (tcpdump/wireshark) or fed from real
+captures. Implements the classic little-endian microsecond format
+(magic 0xa1b2c3d4, version 2.4, LINKTYPE_ETHERNET).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator, List, Tuple
+
+from ..errors import PacketError
+from ..net.packet import Packet
+
+_MAGIC = 0xA1B2C3D4
+_VERSION = (2, 4)
+_LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+def write_pcap(fileobj: BinaryIO, packets: List[Packet],
+               snaplen: int = 65535) -> int:
+    """Write packets (with their ``arrival_time``) to a pcap stream.
+
+    Returns the number of records written.
+    """
+    fileobj.write(_GLOBAL_HEADER.pack(_MAGIC, _VERSION[0], _VERSION[1],
+                                      0, 0, snaplen, _LINKTYPE_ETHERNET))
+    for packet in packets:
+        ts = packet.arrival_time
+        seconds = int(ts)
+        micros = int(round((ts - seconds) * 1e6))
+        if micros >= 1_000_000:
+            seconds += 1
+            micros -= 1_000_000
+        data = packet.tobytes()[:snaplen]
+        fileobj.write(_RECORD_HEADER.pack(seconds, micros, len(data),
+                                          len(packet)))
+        fileobj.write(data)
+    return len(packets)
+
+
+def read_pcap(fileobj: BinaryIO) -> Iterator[Packet]:
+    """Yield packets from a pcap stream; timestamps go to
+    ``arrival_time``. Supports the classic little-endian format."""
+    header = fileobj.read(_GLOBAL_HEADER.size)
+    if len(header) < _GLOBAL_HEADER.size:
+        raise PacketError("truncated pcap global header")
+    magic, major, minor, _tz, _sig, _snaplen, linktype = \
+        _GLOBAL_HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise PacketError(f"unsupported pcap magic {magic:#x} "
+                          f"(only classic little-endian microsecond)")
+    if linktype != _LINKTYPE_ETHERNET:
+        raise PacketError(f"unsupported link type {linktype}")
+    del major, minor
+
+    while True:
+        record = fileobj.read(_RECORD_HEADER.size)
+        if not record:
+            return
+        if len(record) < _RECORD_HEADER.size:
+            raise PacketError("truncated pcap record header")
+        seconds, micros, incl_len, _orig_len = _RECORD_HEADER.unpack(record)
+        data = fileobj.read(incl_len)
+        if len(data) < incl_len:
+            raise PacketError("truncated pcap record data")
+        yield Packet(data, arrival_time=seconds + micros / 1e6)
+
+
+def save_pcap(path: str, packets: List[Packet]) -> int:
+    """Write packets to a pcap file on disk."""
+    with open(path, "wb") as fileobj:
+        return write_pcap(fileobj, packets)
+
+
+def load_pcap(path: str) -> List[Packet]:
+    """Read all packets from a pcap file on disk."""
+    with open(path, "rb") as fileobj:
+        return list(read_pcap(fileobj))

@@ -1,0 +1,50 @@
+"""Experiment workloads: per-module and mixed-module streams."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..net.packet import Packet
+from .generator import PacketGenerator
+
+
+def module_stream(vid: int, size: int, count: int) -> List[Packet]:
+    """A burst of ``count`` packets of one module."""
+    return PacketGenerator(vid=vid).burst(size, count)
+
+
+def mixed_module_stream(ratios: Dict[int, int], size: int,
+                        total: int) -> List[Packet]:
+    """Interleave modules' packets according to integer ratios.
+
+    ``ratios`` maps VID -> weight. E.g. ``{1: 5, 2: 3, 3: 2}`` with
+    ``total=100`` yields 50/30/20 packets interleaved round-robin by
+    weight — the Fig. 10 traffic mix.
+    """
+    generators = {vid: PacketGenerator(vid=vid) for vid in ratios}
+    weight_sum = sum(ratios.values())
+    packets: List[Packet] = []
+    produced = {vid: 0 for vid in ratios}
+    index = 0
+    while len(packets) < total:
+        # Weighted round-robin: pick the module furthest behind quota.
+        def deficit(vid: int) -> float:
+            quota = ratios[vid] / weight_sum * (index + 1)
+            return quota - produced[vid]
+        vid = max(ratios, key=deficit)
+        packets.append(generators[vid].packet(size))
+        produced[vid] += 1
+        index += 1
+    return packets
+
+
+def fig10_workload(link_gbps: float = 9.3, size: int = 1500
+                   ) -> List[Tuple[int, float]]:
+    """The Fig. 10 offered loads: modules 1:2:3 split 5:3:2 of the link.
+
+    Returns (module_id, offered_bps) pairs.
+    """
+    split = {1: 5, 2: 3, 3: 2}
+    total = sum(split.values())
+    return [(vid, link_gbps * 1e9 * weight / total)
+            for vid, weight in split.items()]

@@ -1,0 +1,151 @@
+"""Unit tests for bit-level packing helpers."""
+
+import pytest
+
+from repro import bits
+from repro.errors import EncodingError
+
+
+class TestMaskAndFits:
+    def test_mask_widths(self):
+        assert bits.mask(0) == 0
+        assert bits.mask(1) == 1
+        assert bits.mask(12) == 0xFFF
+        assert bits.mask(193) == (1 << 193) - 1
+
+    def test_mask_negative_raises(self):
+        with pytest.raises(EncodingError):
+            bits.mask(-1)
+
+    def test_check_fits_accepts_boundary(self):
+        assert bits.check_fits(0xFFF, 12) == 0xFFF
+
+    def test_check_fits_rejects_overflow(self):
+        with pytest.raises(EncodingError):
+            bits.check_fits(0x1000, 12)
+
+    def test_check_fits_rejects_negative(self):
+        with pytest.raises(EncodingError):
+            bits.check_fits(-1, 12)
+
+    def test_check_fits_rejects_non_int(self):
+        with pytest.raises(EncodingError):
+            bits.check_fits("5", 12)
+
+
+class TestGetSetBits:
+    def test_get_bits(self):
+        word = 0b1011_0110
+        assert bits.get_bits(word, 1, 3) == 0b011
+        assert bits.get_bits(word, 4, 4) == 0b1011
+
+    def test_set_bits_roundtrip(self):
+        word = bits.set_bits(0, 5, 3, 0b101)
+        assert bits.get_bits(word, 5, 3) == 0b101
+
+    def test_set_bits_clears_previous(self):
+        word = bits.set_bits(0xFF, 2, 4, 0)
+        assert bits.get_bits(word, 2, 4) == 0
+
+    def test_set_bits_overflow(self):
+        with pytest.raises(EncodingError):
+            bits.set_bits(0, 0, 2, 4)
+
+
+class TestByteConversion:
+    def test_to_bytes_pads_to_whole_bytes(self):
+        # 12-bit value -> 2 bytes
+        assert bits.to_bytes(0xABC, 12) == b"\x0a\xbc"
+
+    def test_from_bytes_roundtrip(self):
+        for width, value in [(16, 0x1234), (38, 0x3FFFFFFFFF), (193, 1 << 192)]:
+            data = bits.to_bytes(value, width)
+            assert bits.from_bytes(data, width) == value
+
+    def test_from_bytes_rejects_oversized(self):
+        with pytest.raises(EncodingError):
+            bits.from_bytes(b"\xff\xff", 12)
+
+    def test_to_bytes_rejects_oversized(self):
+        with pytest.raises(EncodingError):
+            bits.to_bytes(1 << 16, 16)
+
+
+class TestConcatSplit:
+    def test_concat_msb_first(self):
+        # opcode(4)=0xA, c1(5)=0x1F, imm(16)=0xBEEF
+        word = bits.concat_fields([(0xA, 4), (0x1F, 5), (0xBEEF, 16)])
+        assert word == (0xA << 21) | (0x1F << 16) | 0xBEEF
+
+    def test_split_inverse_of_concat(self):
+        fields = [(0x3, 2), (0x15, 7), (0x0, 3), (0x1, 1)]
+        word = bits.concat_fields(fields)
+        assert bits.split_fields(word, [2, 7, 3, 1]) == [f[0] for f in fields]
+
+    def test_concat_rejects_overflow(self):
+        with pytest.raises(EncodingError):
+            bits.concat_fields([(4, 2)])
+
+    def test_split_rejects_oversized_word(self):
+        with pytest.raises(EncodingError):
+            bits.split_fields(1 << 10, [5, 5])
+
+
+class TestWordLayout:
+    def layout(self):
+        return bits.WordLayout(16, [
+            ("reserved", 3),
+            ("bytes_from_head", 7),
+            ("container_type", 2),
+            ("container_index", 3),
+            ("valid", 1),
+        ])
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(EncodingError):
+            bits.WordLayout(8, [("a", 4), ("b", 3)])
+
+    def test_duplicate_field_raises(self):
+        with pytest.raises(EncodingError):
+            bits.WordLayout(8, [("a", 4), ("a", 4)])
+
+    def test_pack_unpack_roundtrip(self):
+        layout = self.layout()
+        word = layout.pack(bytes_from_head=100, container_type=2,
+                           container_index=5, valid=1)
+        fields = layout.unpack(word)
+        assert fields["bytes_from_head"] == 100
+        assert fields["container_type"] == 2
+        assert fields["container_index"] == 5
+        assert fields["valid"] == 1
+        assert fields["reserved"] == 0
+
+    def test_msb_first_placement(self):
+        layout = self.layout()
+        # 'reserved' should occupy the top 3 bits.
+        word = layout.pack(reserved=0b111)
+        assert word == 0b111 << 13
+
+    def test_pack_unknown_field(self):
+        with pytest.raises(EncodingError):
+            self.layout().pack(nope=1)
+
+    def test_pack_overflow_names_field(self):
+        with pytest.raises(EncodingError, match="container_type"):
+            self.layout().pack(container_type=4)
+
+    def test_repack_updates_single_field(self):
+        layout = self.layout()
+        word = layout.pack(bytes_from_head=10, valid=1)
+        word2 = layout.repack(word, bytes_from_head=20)
+        fields = layout.unpack(word2)
+        assert fields["bytes_from_head"] == 20
+        assert fields["valid"] == 1
+
+    def test_describe_offsets(self):
+        desc = self.layout().describe()
+        assert desc["valid"] == (0, 1)
+        assert desc["container_index"] == (1, 3)
+        assert desc["container_type"] == (4, 2)
+        assert desc["bytes_from_head"] == (6, 7)
+        assert desc["reserved"] == (13, 3)

@@ -1,0 +1,190 @@
+"""Edge-case and error-path tests for the compiler."""
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.compiler.parser import parse_source
+from repro.compiler.typecheck import typecheck
+from repro.errors import (
+    CompilerError,
+    LexerError,
+    ParseError,
+    TypeCheckError,
+)
+
+from tests.test_compiler_frontend import (
+    COMMON_HEADERS,
+    COMMON_PARSE,
+    SIMPLE_CONTROL,
+    minimal_module,
+)
+
+
+class TestProgramShapeErrors:
+    def test_module_without_parser(self):
+        src = COMMON_HEADERS + """
+struct headers_t { ethernet_t ethernet; }
+control C(inout headers_t hdr) { apply { } }
+"""
+        with pytest.raises(TypeCheckError, match="no parser"):
+            typecheck(parse_source(src))
+
+    def test_module_without_control(self):
+        src = COMMON_HEADERS + """
+struct headers_t {
+    ethernet_t ethernet; vlan_t vlan; ipv4_t ipv4; udp_t udp;
+}
+""" + COMMON_PARSE
+        with pytest.raises(TypeCheckError, match="no control"):
+            typecheck(parse_source(src))
+
+    def test_parser_extracting_nothing(self):
+        src = minimal_module(SIMPLE_CONTROL).replace(
+            """packet.extract(hdr.ethernet);
+        packet.extract(hdr.vlan);
+        packet.extract(hdr.ipv4);
+        packet.extract(hdr.udp);
+        transition accept;""",
+            "transition accept;")
+        with pytest.raises(TypeCheckError, match="extracts no headers"):
+            typecheck(parse_source(src))
+
+    def test_undefined_parser_state(self):
+        src = minimal_module(SIMPLE_CONTROL).replace(
+            "transition accept;", "transition missing_state;")
+        with pytest.raises(TypeCheckError, match="undefined parser state"):
+            typecheck(parse_source(src))
+
+    def test_extract_of_undeclared_instance(self):
+        src = minimal_module(SIMPLE_CONTROL).replace(
+            "packet.extract(hdr.udp);", "packet.extract(hdr.ghost);")
+        with pytest.raises(TypeCheckError):
+            typecheck(parse_source(src))
+
+    def test_header_with_partial_byte_rejected(self):
+        extra = "header odd_t { bit<12> x; }"
+        src = minimal_module(SIMPLE_CONTROL, extra_headers=extra,
+                             extra_struct="odd_t odd;")
+        src = src.replace(
+            "transition accept;\n    }",
+            "transition parse_odd;\n    }\n    state parse_odd {"
+            " packet.extract(hdr.odd); transition accept; }")
+        with pytest.raises(TypeCheckError, match="whole bytes"):
+            typecheck(parse_source(src))
+
+
+class TestGrammarLimits:
+    def test_width_over_64_rejected(self):
+        with pytest.raises(ParseError, match="unsupported bit width"):
+            parse_source("header h_t { bit<65> x; }")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises((ParseError, LexerError)):
+            parse_source("header h_t { bit<0> x; }")
+
+    def test_bad_match_kind(self):
+        control = SIMPLE_CONTROL.replace("exact;", "lpm;")
+        with pytest.raises(ParseError, match="match kind"):
+            parse_source(minimal_module(control))
+
+    def test_table_apply_with_args_rejected(self):
+        control = SIMPLE_CONTROL.replace("t.apply();", "t.apply(1);")
+        with pytest.raises(ParseError):
+            parse_source(minimal_module(control))
+
+
+class TestConstPropagation:
+    def test_const_in_action_expression(self):
+        src = ("const bit<16> MAGIC = 0x2A;\n"
+               + minimal_module("""
+    action stamp() { hdr.ipv4.identification = MAGIC; }
+    table t { key = { hdr.udp.dstPort: exact; } actions = { stamp; } size = 2; }
+    apply { t.apply(); }
+"""))
+        module = compile_module(src, "const-test")
+        action = module.tables["t"].actions["stamp"]
+        vliw = action.make_vliw({})
+        ops = dict(vliw.non_nop())
+        slot = module.field_alloc["hdr.ipv4.identification"].flat_index
+        assert ops[slot].immediate == 0x2A
+
+    def test_const_added_to_field(self):
+        src = ("const bit<16> STEP = 5;\n"
+               + minimal_module("""
+    action bump() { hdr.ipv4.identification = hdr.ipv4.identification + STEP; }
+    table t { key = { hdr.udp.dstPort: exact; } actions = { bump; } size = 2; }
+    apply { t.apply(); }
+"""))
+        module = compile_module(src, "const-add")
+        action = module.tables["t"].actions["bump"]
+        ops = dict(action.make_vliw({}).non_nop())
+        slot = module.field_alloc["hdr.ipv4.identification"].flat_index
+        from repro.rmt.action import AluOp
+        assert ops[slot].opcode == AluOp.ADDI
+        assert ops[slot].immediate == 5
+
+    def test_unknown_const_rejected(self):
+        control = """
+    action stamp() { hdr.ipv4.identification = GHOST; }
+    table t { key = { hdr.udp.dstPort: exact; } actions = { stamp; } size = 2; }
+    apply { t.apply(); }
+"""
+        with pytest.raises((TypeCheckError, CompilerError)):
+            compile_module(minimal_module(control), "bad")
+
+
+class TestActionExpressionLimits:
+    def test_const_plus_const_rejected(self):
+        control = """
+    action weird() { hdr.ipv4.identification = 1 + 2; }
+    table t { key = { hdr.udp.dstPort: exact; } actions = { weird; } size = 2; }
+    apply { t.apply(); }
+"""
+        with pytest.raises(CompilerError):
+            compile_module(minimal_module(control), "bad")
+
+    def test_param_minus_rejected(self):
+        control = """
+    action weird(bit<16> v) { hdr.ipv4.identification = hdr.ipv4.totalLen - v; }
+    table t { key = { hdr.udp.dstPort: exact; } actions = { weird; } size = 2; }
+    apply { t.apply(); }
+"""
+        with pytest.raises(CompilerError, match="parameter"):
+            compile_module(minimal_module(control), "bad")
+
+    def test_metadata_read_rejected(self):
+        control = """
+    action weird() { hdr.ipv4.identification = standard_metadata.enq_timestamp; }
+    table t { key = { hdr.udp.dstPort: exact; } actions = { weird; } size = 2; }
+    apply { t.apply(); }
+"""
+        with pytest.raises(CompilerError, match="not readable"):
+            compile_module(minimal_module(control), "bad")
+
+    def test_three_term_expression_rejected(self):
+        control = """
+    action weird() {
+        hdr.ipv4.identification = hdr.ipv4.totalLen + hdr.udp.length + 1;
+    }
+    table t { key = { hdr.udp.dstPort: exact; } actions = { weird; } size = 2; }
+    apply { t.apply(); }
+"""
+        with pytest.raises(CompilerError):
+            compile_module(minimal_module(control), "bad")
+
+
+class TestFieldCopySemantics:
+    def test_field_copy_compiles_to_addi_zero(self):
+        control = """
+    action mirror() { hdr.ipv4.identification = hdr.udp.length; }
+    table t { key = { hdr.udp.dstPort: exact; } actions = { mirror; } size = 2; }
+    apply { t.apply(); }
+"""
+        module = compile_module(minimal_module(control), "copy")
+        ops = dict(module.tables["t"].actions["mirror"].make_vliw({})
+                   .non_nop())
+        slot = module.field_alloc["hdr.ipv4.identification"].flat_index
+        from repro.rmt.action import AluOp
+        assert ops[slot].opcode == AluOp.ADDI
+        assert ops[slot].immediate == 0
+        assert ops[slot].c1 == module.field_alloc["hdr.udp.length"]

@@ -1,0 +1,315 @@
+"""Tests for the compiler frontend: lexer, parser, typecheck."""
+
+import pytest
+
+from repro.compiler.lexer import Token, TokenKind, parse_number, tokenize
+from repro.compiler.parser import parse_source
+from repro.compiler.typecheck import typecheck
+from repro.errors import LexerError, ParseError, TypeCheckError
+
+COMMON_HEADERS = """
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header vlan_t { bit<16> tci; bit<16> etherType; }
+header ipv4_t {
+    bit<16> ver_ihl_tos; bit<16> totalLen; bit<16> identification;
+    bit<16> flags_frag; bit<8> ttl; bit<8> protocol; bit<16> checksum;
+    bit<32> srcAddr; bit<32> dstAddr;
+}
+header udp_t { bit<16> srcPort; bit<16> dstPort; bit<16> length; bit<16> checksum; }
+"""
+
+COMMON_PARSE = """
+parser P(packet_in packet, out headers_t hdr) {
+    state start {
+        packet.extract(hdr.ethernet);
+        packet.extract(hdr.vlan);
+        packet.extract(hdr.ipv4);
+        packet.extract(hdr.udp);
+        transition accept;
+    }
+}
+"""
+
+
+def minimal_module(control_body: str, extra_headers: str = "",
+                   extra_struct: str = "") -> str:
+    return (COMMON_HEADERS + extra_headers + f"""
+struct headers_t {{
+    ethernet_t ethernet; vlan_t vlan; ipv4_t ipv4; udp_t udp; {extra_struct}
+}}
+""" + COMMON_PARSE + f"""
+control C(inout headers_t hdr) {{
+{control_body}
+}}
+""")
+
+
+SIMPLE_CONTROL = """
+    action set_port(bit<16> port) { standard_metadata.egress_spec = port; }
+    table t { key = { hdr.ipv4.dstAddr: exact; } actions = { set_port; } size = 4; }
+    apply { t.apply(); }
+"""
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("header foo { bit<16> x; } // comment")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == TokenKind.KEYWORD
+        assert kinds[1] == TokenKind.IDENT
+        assert kinds[-1] == TokenKind.EOF
+
+    def test_numbers(self):
+        assert parse_number(tokenize("42")[0]) == 42
+        assert parse_number(tokenize("0x2A")[0]) == 42
+        assert parse_number(tokenize("8w42")[0]) == 42
+        assert parse_number(tokenize("16w0xF1F2")[0]) == 0xF1F2
+
+    def test_block_comment(self):
+        tokens = tokenize("a /* multi\nline */ b")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* never ends")
+
+    def test_bad_character(self):
+        with pytest.raises(LexerError):
+            tokenize("a @ b")
+
+    def test_two_char_punct(self):
+        tokens = tokenize("a == b != c >= d")
+        punct = [t.value for t in tokens if t.kind == TokenKind.PUNCT]
+        assert punct == ["==", "!=", ">="]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+
+class TestParser:
+    def test_full_module_parses(self):
+        program = parse_source(minimal_module(SIMPLE_CONTROL))
+        assert "ethernet_t" in program.headers
+        assert program.parser is not None
+        assert program.control is not None
+        assert len(program.control.tables) == 1
+        assert program.control.tables[0].size == 4
+
+    def test_header_fields(self):
+        program = parse_source(minimal_module(SIMPLE_CONTROL))
+        eth = program.headers["ethernet_t"]
+        assert [f.name for f in eth.fields] == ["dstAddr", "srcAddr",
+                                                "etherType"]
+        assert eth.width_bytes == 14
+
+    def test_const_declaration(self):
+        src = "const bit<16> MAGIC = 0xBEEF;" + minimal_module(SIMPLE_CONTROL)
+        program = parse_source(src)
+        assert program.consts["MAGIC"].value == 0xBEEF
+
+    def test_select_transition(self):
+        src = minimal_module(SIMPLE_CONTROL).replace(
+            "transition accept;",
+            """transition select(hdr.ethernet.etherType) {
+                0x8100: accept;
+                default: accept;
+            }""")
+        program = parse_source(src)
+        start = program.parser.states[0]
+        assert start.transition.select_expr is not None
+        assert len(start.transition.cases) == 2
+
+    def test_register_declaration(self):
+        control = """
+    register<bit<32>>(16) counters;
+""" + SIMPLE_CONTROL
+        program = parse_source(minimal_module(control))
+        reg = program.control.registers[0]
+        assert reg.name == "counters"
+        assert reg.width_bits == 32
+        assert reg.size == 16
+
+    def test_if_else_in_apply(self):
+        control = """
+    action a() { hdr.ipv4.identification = 1; }
+    table t1 { key = { hdr.ipv4.srcAddr: exact; } actions = { a; } size = 2; }
+    table t2 { key = { hdr.ipv4.dstAddr: exact; } actions = { a; } size = 2; }
+    apply {
+        if (hdr.udp.srcPort > 1024) { t1.apply(); } else { t2.apply(); }
+    }
+"""
+        program = parse_source(minimal_module(control))
+        from repro.compiler.ast_nodes import IfStmt
+        stmt = program.control.apply_body[0]
+        assert isinstance(stmt, IfStmt)
+        assert stmt.condition.op == ">"
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_action_params(self):
+        program = parse_source(minimal_module(SIMPLE_CONTROL))
+        action = program.control.actions[0]
+        assert action.params[0].name == "port"
+        assert action.params[0].type_name == "bit<16>"
+
+    def test_syntax_errors(self):
+        for bad in [
+            "header x {",                       # unterminated
+            "header x { bit<16> f }",           # missing semicolon
+            "control C() { apply { } } banana", # trailing garbage
+            "parser P() { state start { } }",   # state without transition
+        ]:
+            with pytest.raises(ParseError):
+                parse_source(bad)
+
+    def test_duplicate_header_rejected(self):
+        src = "header a_t { bit<16> x; } header a_t { bit<16> y; }"
+        with pytest.raises(ParseError):
+            parse_source(src)
+
+    def test_default_action_clause(self):
+        control = """
+    action nop() { hdr.ipv4.identification = 0; }
+    table t {
+        key = { hdr.ipv4.dstAddr: exact; }
+        actions = { nop; }
+        size = 2;
+        default_action = nop();
+    }
+    apply { t.apply(); }
+"""
+        program = parse_source(minimal_module(control))
+        assert program.control.tables[0].default_action == "nop"
+
+
+class TestTypecheck:
+    def test_field_offsets(self):
+        env = typecheck(parse_source(minimal_module(SIMPLE_CONTROL)))
+        # eth(14) + vlan(4) = 18 -> ipv4 base; dstAddr at +16
+        assert env.fields["hdr.ipv4.dstAddr"].byte_offset == 34
+        assert env.fields["hdr.udp.dstPort"].byte_offset == 40
+        assert env.fields["hdr.ethernet.dstAddr"].byte_offset == 0
+        assert env.header_offsets["hdr.udp"] == 38
+
+    def test_extract_order(self):
+        env = typecheck(parse_source(minimal_module(SIMPLE_CONTROL)))
+        assert env.extract_order == ["hdr.ethernet", "hdr.vlan", "hdr.ipv4",
+                                     "hdr.udp"]
+
+    def test_select_single_target_ok(self):
+        src = minimal_module(SIMPLE_CONTROL).replace(
+            "transition accept;",
+            """transition select(hdr.udp.dstPort) {
+                100: accept;
+                default: reject;
+            }""")
+        env = typecheck(parse_source(src))
+        assert env.extract_order[-1] == "hdr.udp"
+
+    def test_branching_select_rejected(self):
+        extra = "header a_t { bit<16> x; }"
+        src = minimal_module(SIMPLE_CONTROL, extra_headers=extra,
+                             extra_struct="a_t a;")
+        src = src.replace(
+            "transition accept;",
+            """transition select(hdr.udp.dstPort) {
+                1: parse_a;
+                default: accept;
+            }
+        }
+        state parse_a { packet.extract(hdr.a); transition accept;""")
+        # one non-default case: allowed, follows parse_a
+        env = typecheck(parse_source(src))
+        assert "hdr.a" in env.extract_order
+
+    def test_truly_branching_select_rejected(self):
+        extra = "header a_t { bit<16> x; } header b_t { bit<16> y; }"
+        src = minimal_module(SIMPLE_CONTROL, extra_headers=extra,
+                             extra_struct="a_t a; b_t b;")
+        src = src.replace(
+            "transition accept;",
+            """transition select(hdr.udp.dstPort) {
+                1: parse_a;
+                2: parse_b;
+            }
+        }
+        state parse_a { packet.extract(hdr.a); transition accept; }
+        state parse_b { packet.extract(hdr.b); transition accept;""")
+        with pytest.raises(TypeCheckError):
+            typecheck(parse_source(src))
+
+    def test_parser_loop_detected(self):
+        src = minimal_module(SIMPLE_CONTROL).replace(
+            "transition accept;", "transition start;")
+        with pytest.raises(TypeCheckError):
+            typecheck(parse_source(src))
+
+    def test_unknown_key_field(self):
+        control = SIMPLE_CONTROL.replace("hdr.ipv4.dstAddr", "hdr.ipv4.nope")
+        with pytest.raises(TypeCheckError):
+            typecheck(parse_source(minimal_module(control)))
+
+    def test_unknown_action_in_table(self):
+        control = SIMPLE_CONTROL.replace("actions = { set_port; }",
+                                         "actions = { missing; }")
+        with pytest.raises(TypeCheckError):
+            typecheck(parse_source(minimal_module(control)))
+
+    def test_unaligned_key_field_rejected(self):
+        # ttl is 8 bits: not container-mappable.
+        control = SIMPLE_CONTROL.replace("hdr.ipv4.dstAddr: exact;",
+                                         "hdr.ipv4.ttl: exact;")
+        with pytest.raises(TypeCheckError):
+            typecheck(parse_source(minimal_module(control)))
+
+    def test_metadata_key_rejected(self):
+        control = SIMPLE_CONTROL.replace(
+            "hdr.ipv4.dstAddr: exact;",
+            "standard_metadata.ingress_port: exact;")
+        with pytest.raises(TypeCheckError):
+            typecheck(parse_source(minimal_module(control)))
+
+    def test_unknown_metadata_field(self):
+        control = SIMPLE_CONTROL.replace("egress_spec", "banana")
+        with pytest.raises(TypeCheckError):
+            typecheck(parse_source(minimal_module(control)))
+
+    def test_register_ops_checked(self):
+        control = """
+    register<bit<32>>(8) reg;
+    action load_it() { reg.read(hdr.ipv4.identification, 0); }
+    table t { key = { hdr.udp.dstPort: exact; } actions = { load_it; } size = 2; }
+    apply { t.apply(); }
+"""
+        env = typecheck(parse_source(minimal_module(control)))
+        assert "reg" in env.registers
+
+    def test_unknown_register_rejected(self):
+        control = """
+    action load_it() { ghost.read(hdr.ipv4.identification, 0); }
+    table t { key = { hdr.udp.dstPort: exact; } actions = { load_it; } size = 2; }
+    apply { t.apply(); }
+"""
+        with pytest.raises(TypeCheckError):
+            typecheck(parse_source(minimal_module(control)))
+
+    def test_apply_of_unknown_table(self):
+        control = """
+    action a() { hdr.ipv4.identification = 1; }
+    table t { key = { hdr.udp.dstPort: exact; } actions = { a; } size = 2; }
+    apply { ghost.apply(); }
+"""
+        with pytest.raises(TypeCheckError):
+            typecheck(parse_source(minimal_module(control)))
+
+    def test_table_without_key_rejected(self):
+        control = """
+    action a() { hdr.ipv4.identification = 1; }
+    table t { actions = { a; } size = 2; }
+    apply { t.apply(); }
+"""
+        with pytest.raises(TypeCheckError):
+            typecheck(parse_source(minimal_module(control)))

@@ -1,0 +1,283 @@
+"""Integration tests for the MenshenPipeline: multi-module behavior
+isolation, secure reconfiguration, and the system-stage override."""
+
+import pytest
+
+from repro.core import (
+    MenshenPipeline,
+    ResourceId,
+    ResourceType,
+    SYSTEM_MODULE_ID,
+    build_reconfig_packet,
+)
+from repro.errors import ReconfigurationError
+from repro.net import PacketBuilder
+from repro.rmt import (
+    AluAction,
+    AluOp,
+    KeyExtractEntry,
+    ParseAction,
+    VliwInstruction,
+)
+from repro.rmt.encodings import encode_key
+from repro.rmt.key_extractor import build_mask
+from repro.rmt.phv import ContainerRef, ContainerType
+
+B2 = lambda i: ContainerRef(ContainerType.B2, i)
+
+PAYLOAD_OFFSET = 46  # first byte after the common header
+
+
+def packet(vid, opcode, pad=20):
+    """A packet whose first two payload bytes carry a 16-bit opcode."""
+    return (PacketBuilder().ethernet().vlan(vid=vid)
+            .ipv4().udp(sport=5000, dport=5001)
+            .payload(opcode.to_bytes(2, "big") + b"\x00" * pad)
+            .build())
+
+
+def install_doubler(pipe, module_id, stage_idx, cam_slot, mapping):
+    """Install a module: parse payload[0:2] into B2[0]; for each
+    (input_value -> output_value) in mapping, write the result into
+    payload bytes [2:4] via B2[1]."""
+    actions = [ParseAction(PAYLOAD_OFFSET, B2(0)),
+               ParseAction(PAYLOAD_OFFSET + 2, B2(1))]
+    pipe.parser.install_program(module_id, actions)
+    pipe.deparser.install_program(module_id, actions)
+
+    stage = pipe.stages[stage_idx]
+    stage.key_extractor.install(
+        module_id, KeyExtractEntry(idx_2b_1=0),
+        mask=build_mask(use_2b=(True, False)))
+    for offset, (value_in, value_out) in enumerate(mapping.items()):
+        key = encode_key([0, 0, 0, 0, value_in, 0], 0)
+        slot = cam_slot + offset
+        stage.match_table.write(slot, key=key, module_id=module_id)
+        stage.install_vliw(slot, VliwInstruction.from_sparse({
+            1: AluAction(AluOp.SET, immediate=value_out),
+        }))
+    pipe.mark_loaded(module_id)
+
+
+def result_value(result):
+    """The 16-bit output value written into payload bytes [2:4]."""
+    return result.packet.read_int(PAYLOAD_OFFSET + 2, 2)
+
+
+class TestMultiModuleBehaviorIsolation:
+    def build(self):
+        pipe = MenshenPipeline()
+        install_doubler(pipe, 1, stage_idx=1, cam_slot=0,
+                        mapping={10: 100, 20: 200})
+        install_doubler(pipe, 2, stage_idx=1, cam_slot=4,
+                        mapping={10: 999})
+        return pipe
+
+    def test_each_module_sees_its_own_rules(self):
+        pipe = self.build()
+        # Same input value, different modules, different outcomes.
+        assert result_value(pipe.process(packet(1, 10))) == 100
+        assert result_value(pipe.process(packet(2, 10))) == 999
+        assert result_value(pipe.process(packet(1, 20))) == 200
+
+    def test_module_miss_on_other_modules_value(self):
+        pipe = self.build()
+        # Module 2 has no rule for 20 even though module 1 does.
+        assert result_value(pipe.process(packet(2, 20))) == 0
+
+    def test_interleaving_makes_no_difference(self):
+        # Behavior isolation: module 1's outputs are identical whether or
+        # not module 2's traffic is interleaved.
+        solo = self.build()
+        outputs_solo = [result_value(solo.process(packet(1, 10)))
+                        for _ in range(5)]
+        mixed = self.build()
+        outputs_mixed = []
+        for _ in range(5):
+            mixed.process(packet(2, 10))
+            outputs_mixed.append(result_value(mixed.process(packet(1, 10))))
+            mixed.process(packet(2, 77))
+        assert outputs_solo == outputs_mixed
+
+    def test_unknown_module_dropped(self):
+        pipe = self.build()
+        result = pipe.process(packet(9, 10))
+        assert result.dropped
+        assert result.drop_reason == "unknown_module"
+
+    def test_untagged_packet_dropped(self):
+        pipe = self.build()
+        pkt = PacketBuilder().ethernet().ipv4().udp().payload(b"hi").build()
+        result = pipe.process(pkt)
+        assert result.dropped
+        assert result.drop_reason == "untagged"
+
+    def test_per_module_stats(self):
+        pipe = self.build()
+        pipe.process(packet(1, 10))
+        pipe.process(packet(1, 20))
+        pipe.process(packet(2, 10))
+        assert pipe.stats.per_module_in[1] == 2
+        assert pipe.stats.per_module_in[2] == 1
+        assert pipe.stats.per_module_out[1] == 2
+
+
+class TestStatefulIsolation:
+    def build(self):
+        """Two counter modules sharing stage 0's stateful memory."""
+        pipe = MenshenPipeline()
+        pipe.segment_tables[0].set_segment(1, offset=0, range_=4)
+        pipe.segment_tables[0].set_segment(2, offset=4, range_=4)
+        for module_id in (1, 2):
+            actions = [ParseAction(PAYLOAD_OFFSET, B2(0)),
+                       ParseAction(PAYLOAD_OFFSET + 2, B2(1))]
+            pipe.parser.install_program(module_id, actions)
+            pipe.deparser.install_program(module_id, actions)
+            stage = pipe.stages[0]
+            stage.key_extractor.install(
+                module_id, KeyExtractEntry(idx_2b_1=0),
+                mask=build_mask(use_2b=(True, False)))
+            slot = 0 if module_id == 1 else 8
+            key = encode_key([0, 0, 0, 0, 1, 0], 0)
+            stage.match_table.write(slot, key=key, module_id=module_id)
+            # loadd counter at per-module address 0 -> B2[1]
+            stage.install_vliw(slot, VliwInstruction.from_sparse({
+                1: AluAction(AluOp.LOADD, c1=B2(7), immediate=0),
+            }))
+            pipe.mark_loaded(module_id)
+        return pipe
+
+    def test_counters_are_independent(self):
+        pipe = self.build()
+        assert result_value(pipe.process(packet(1, 1))) == 1
+        assert result_value(pipe.process(packet(1, 1))) == 2
+        # Module 2's counter starts at its own zero.
+        assert result_value(pipe.process(packet(2, 1))) == 1
+        # Module 1 unaffected by module 2's increments.
+        assert result_value(pipe.process(packet(1, 1))) == 3
+        # Physical memory: module 1 at word 0, module 2 at word 4.
+        assert pipe.stages[0].stateful_memory.read(0) == 3
+        assert pipe.stages[0].stateful_memory.read(4) == 1
+
+
+class TestSecureReconfiguration:
+    def test_dataplane_reconfig_dropped_in_switch_mode(self):
+        pipe = MenshenPipeline(reconfig_from_dataplane=False)
+        pkt = build_reconfig_packet(
+            ResourceId(ResourceType.SEGMENT, 0), index=1, entry=0x0004)
+        result = pipe.process(pkt)
+        assert result.dropped
+        assert result.drop_reason == "reconfig_on_dataplane"
+        # The write must NOT have been applied.
+        from repro.errors import SegmentFaultError
+        with pytest.raises(SegmentFaultError):
+            pipe.segment_tables[0].translate(1, 0)
+
+    def test_dataplane_reconfig_consumed_in_nic_mode(self):
+        pipe = MenshenPipeline(reconfig_from_dataplane=True)
+        pkt = build_reconfig_packet(
+            ResourceId(ResourceType.SEGMENT, 0), index=1, entry=0x0004)
+        result = pipe.process(pkt)
+        assert result.dropped  # consumed, not forwarded
+        assert pipe.segment_tables[0].segment_of(1) == (0, 4)
+
+    def test_pcie_injection_applies_write(self):
+        pipe = MenshenPipeline()
+        pkt = build_reconfig_packet(
+            ResourceId(ResourceType.KEY_MASK, 2), index=5,
+            entry=(1 << 193) - 1)
+        payload = pipe.inject_reconfig(pkt)
+        assert payload is not None
+        assert pipe.stages[2].key_mask_table.read(5) == (1 << 193) - 1
+        assert pipe.packet_filter.read_counter() == 1
+
+    def test_inject_rejects_non_reconfig(self):
+        pipe = MenshenPipeline()
+        with pytest.raises(ReconfigurationError):
+            pipe.inject_reconfig(packet(1, 10))
+
+    def test_bitmap_drops_only_updating_module(self):
+        pipe = MenshenPipeline()
+        install_doubler(pipe, 1, 1, 0, {10: 100})
+        install_doubler(pipe, 2, 1, 4, {10: 200})
+        pipe.packet_filter.set_module_updating(1)
+        r1 = pipe.process(packet(1, 10))
+        r2 = pipe.process(packet(2, 10))
+        assert r1.dropped and r1.drop_reason == "module_updating"
+        assert not r2.dropped and result_value(r2) == 200
+        pipe.packet_filter.clear_module_updating(1)
+        assert not pipe.process(packet(1, 10)).dropped
+
+    def test_all_config_tables_reachable_via_chain(self):
+        pipe = MenshenPipeline()
+        cases = [
+            (ResourceType.PARSER_TABLE, 0, 3, 0xAB),
+            (ResourceType.DEPARSER_TABLE, 0, 3, 0xCD),
+            (ResourceType.KEY_EXTRACTOR, 1, 2, 0x1F),
+            (ResourceType.KEY_MASK, 4, 2, 0xFF),
+            (ResourceType.VLIW, 3, 9, 0x0),
+            (ResourceType.SEGMENT, 2, 1, 0x0810),
+            (ResourceType.STATEFUL_WORD, 0, 7, 0xDEAD),
+        ]
+        for rtype, stage, index, entry in cases:
+            pkt = build_reconfig_packet(ResourceId(rtype, stage), index,
+                                        entry)
+            assert pipe.inject_reconfig(pkt) is not None
+        assert pipe.parser_table.read(3) == 0xAB
+        assert pipe.deparser_table.read(3) == 0xCD
+        assert pipe.stages[1].key_extract_table.read(2) == 0x1F
+        assert pipe.stages[4].key_mask_table.read(2) == 0xFF
+        assert pipe.segment_tables[2].segment_of(1) == (0x08, 0x10)
+        assert pipe.stages[0].stateful_memory.read(7) == 0xDEAD
+
+    def test_cam_write_and_invalidate_via_chain(self):
+        from repro.rmt.encodings import encode_cam_entry
+        pipe = MenshenPipeline()
+        word = encode_cam_entry(0x1234, 6)
+        pipe.inject_reconfig(build_reconfig_packet(
+            ResourceId(ResourceType.CAM, 0), index=2, entry=word))
+        assert pipe.stages[0].match_table.lookup(0x1234, 6) == 2
+        pipe.inject_reconfig(build_reconfig_packet(
+            ResourceId(ResourceType.CAM_INVALIDATE, 0), index=2, entry=0))
+        assert pipe.stages[0].match_table.lookup(0x1234, 6) is None
+
+    def test_lost_reconfig_detected_by_counter(self):
+        pipe = MenshenPipeline()
+        pipe.daisy_chain.drop_next(1)
+        pkt = build_reconfig_packet(
+            ResourceId(ResourceType.SEGMENT, 0), index=1, entry=0x0101)
+        before = pipe.packet_filter.read_counter()
+        assert pipe.inject_reconfig(pkt) is None
+        assert pipe.packet_filter.read_counter() == before  # loss visible
+        assert pipe.inject_reconfig(pkt) is not None
+        assert pipe.packet_filter.read_counter() == before + 1
+
+
+class TestSystemStageOverride:
+    def test_system_stages_use_system_module_config(self):
+        pipe = MenshenPipeline()
+        install_doubler(pipe, 1, stage_idx=1, cam_slot=0, mapping={10: 100})
+        # System module in stage 0: stamp B2[2] = 0x5A for every packet.
+        stage0 = pipe.stages[0]
+        stage0.key_extractor.install(
+            SYSTEM_MODULE_ID, KeyExtractEntry(), mask=0)  # match-all key 0
+        stage0.match_table.write(0, key=0, module_id=SYSTEM_MODULE_ID)
+        stage0.install_vliw(0, VliwInstruction.from_sparse({
+            2: AluAction(AluOp.SET, immediate=0x5A),
+        }))
+        pipe.set_system_stages({0})
+        # Module 1's deparse program additionally writes B2[2].
+        actions = [ParseAction(PAYLOAD_OFFSET, B2(0)),
+                   ParseAction(PAYLOAD_OFFSET + 2, B2(1)),
+                   ParseAction(PAYLOAD_OFFSET + 4, B2(2))]
+        pipe.parser.install_program(1, actions)
+        pipe.deparser.install_program(1, actions)
+
+        result = pipe.process(packet(1, 10))
+        assert result_value(result) == 100  # module 1's own rule ran
+        assert result.packet.read_int(PAYLOAD_OFFSET + 4, 2) == 0x5A
+
+    def test_bad_system_stage_rejected(self):
+        pipe = MenshenPipeline()
+        with pytest.raises(ReconfigurationError):
+            pipe.set_system_stages({7})

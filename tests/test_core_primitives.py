@@ -1,0 +1,355 @@
+"""Tests for Menshen's isolation primitives: overlays, segment tables,
+packet filter, reconfiguration packets, daisy chain, partition ledger."""
+
+import pytest
+
+from repro.core import (
+    DaisyChain,
+    ModuleAllocation,
+    OverlayTable,
+    PacketClass,
+    PacketFilter,
+    PartitionLedger,
+    ResourceId,
+    ResourceType,
+    SegmentTable,
+    SegmentedAccess,
+    build_reconfig_packet,
+    entry_payload_bytes,
+    parse_reconfig_packet,
+)
+from repro.core.resources import StageAllocation
+from repro.errors import (
+    AdmissionError,
+    ConfigError,
+    IsolationViolationError,
+    ReconfigurationError,
+    SegmentFaultError,
+)
+from repro.net import PacketBuilder
+from repro.rmt import StatefulMemory
+from repro.rmt.params import DEFAULT_PARAMS
+
+
+def data_packet(vid=3, dport=5001):
+    return (PacketBuilder().ethernet().vlan(vid=vid)
+            .ipv4().udp(dport=dport).payload(b"x" * 20).build())
+
+
+class TestOverlayTable:
+    def test_lookup_is_module_indexed(self):
+        table = OverlayTable("t", 16, 32)
+        table.write(5, 0xAAAA)
+        table.write(6, 0xBBBB)
+        assert table.lookup(5) == 0xAAAA
+        assert table.lookup(6) == 0xBBBB
+
+    def test_lookup_depth_guard(self):
+        table = OverlayTable("t", 16, 32)
+        with pytest.raises(ConfigError):
+            table.lookup(32)
+
+    def test_write_log_tracks_touched_modules(self):
+        table = OverlayTable("t", 16, 32)
+        table.write(1, 1)
+        mark = table.log_position
+        table.write(7, 2)
+        table.write(7, 3)
+        assert table.modules_written_since(mark) == {7}
+
+    def test_no_disruption_invariant(self):
+        # Updating module 7's row never changes other rows' contents.
+        table = OverlayTable("t", 16, 32)
+        for m in range(32):
+            table.write(m, m + 100)
+        before = {m: table.lookup(m) for m in range(32) if m != 7}
+        table.write(7, 0xFFFF)
+        after = {m: table.lookup(m) for m in range(32) if m != 7}
+        assert before == after
+
+
+class TestSegmentTable:
+    def test_translate_adds_offset(self):
+        seg = SegmentTable("seg", 32)
+        seg.set_segment(4, offset=64, range_=32)
+        assert seg.translate(4, 0) == 64
+        assert seg.translate(4, 31) == 95
+
+    def test_out_of_range_faults(self):
+        seg = SegmentTable("seg", 32)
+        seg.set_segment(4, offset=64, range_=32)
+        with pytest.raises(SegmentFaultError):
+            seg.translate(4, 32)
+        with pytest.raises(SegmentFaultError):
+            seg.translate(4, -1)
+
+    def test_zero_range_module_has_no_memory(self):
+        seg = SegmentTable("seg", 32)
+        with pytest.raises(SegmentFaultError):
+            seg.translate(9, 0)
+
+    def test_segmented_access_isolates_modules(self):
+        mem = StatefulMemory(words=128)
+        seg = SegmentTable("seg", 32)
+        seg.set_segment(1, offset=0, range_=16)
+        seg.set_segment(2, offset=16, range_=16)
+        access = SegmentedAccess(mem, seg)
+        access.write(1, 0, 111)
+        access.write(2, 0, 222)
+        # Same per-module address 0 lands in different physical words.
+        assert access.read(1, 0) == 111
+        assert access.read(2, 0) == 222
+        assert mem.read(0) == 111
+        assert mem.read(16) == 222
+
+    def test_module_cannot_reach_other_segment(self):
+        mem = StatefulMemory(words=128)
+        seg = SegmentTable("seg", 32)
+        seg.set_segment(1, offset=0, range_=16)
+        seg.set_segment(2, offset=16, range_=16)
+        access = SegmentedAccess(mem, seg)
+        with pytest.raises(SegmentFaultError):
+            access.read(1, 16)  # would be module 2's first word
+
+
+class TestPacketFilter:
+    def test_data_packet_classified(self):
+        f = PacketFilter()
+        assert f.classify(data_packet()) == PacketClass.DATA
+        assert f.data_packets == 1
+
+    def test_untagged_is_control(self):
+        f = PacketFilter()
+        pkt = PacketBuilder().ethernet().ipv4().udp().build()
+        assert f.classify(pkt) == PacketClass.CONTROL
+        assert f.dropped_untagged == 1
+
+    def test_reconfig_port_detected(self):
+        f = PacketFilter()
+        pkt = data_packet(dport=0xF1F2)
+        assert f.classify(pkt) == PacketClass.RECONFIG
+
+    def test_bitmap_drops_updating_module(self):
+        f = PacketFilter()
+        f.set_module_updating(3)
+        assert f.classify(data_packet(vid=3)) == PacketClass.DROP_UPDATING
+        assert f.classify(data_packet(vid=4)) == PacketClass.DATA
+        f.clear_module_updating(3)
+        assert f.classify(data_packet(vid=3)) == PacketClass.DATA
+
+    def test_bitmap_register_roundtrip(self):
+        f = PacketFilter()
+        f.write_bitmap(0b1010)
+        assert f.is_module_updating(1)
+        assert f.is_module_updating(3)
+        assert not f.is_module_updating(0)
+        assert f.read_bitmap() == 0b1010
+
+    def test_bitmap_width(self):
+        with pytest.raises(ConfigError):
+            PacketFilter().write_bitmap(1 << 32)
+        with pytest.raises(ConfigError):
+            PacketFilter().set_module_updating(32)
+
+    def test_counter_wraps_at_32_bits(self):
+        f = PacketFilter()
+        f.reconfig_counter = (1 << 32) - 1
+        f.count_reconfig_packet()
+        assert f.read_counter() == 0
+
+    def test_round_robin_assignment(self):
+        f = PacketFilter()
+        assert [f.assign_buffer() for _ in range(6)] == [0, 1, 2, 3, 0, 1]
+        assert [f.assign_parser() for _ in range(4)] == [0, 1, 0, 1]
+
+    def test_short_packet_is_control(self):
+        from repro.net.packet import Packet
+        f = PacketFilter()
+        assert f.classify(Packet(b"\x00" * 8)) == PacketClass.CONTROL
+
+
+class TestReconfigPackets:
+    def test_resource_id_roundtrip(self):
+        rid = ResourceId(ResourceType.KEY_EXTRACTOR, stage=3)
+        assert ResourceId.decode(rid.encode()) == rid
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ReconfigurationError):
+            ResourceId.decode(0xF00)
+
+    def test_payload_widths(self):
+        assert entry_payload_bytes(ResourceType.PARSER_TABLE) == 20
+        assert entry_payload_bytes(ResourceType.KEY_EXTRACTOR) == 5
+        assert entry_payload_bytes(ResourceType.KEY_MASK) == 25
+        assert entry_payload_bytes(ResourceType.CAM) == 26
+        assert entry_payload_bytes(ResourceType.VLIW) == 79
+        assert entry_payload_bytes(ResourceType.SEGMENT) == 2
+        assert entry_payload_bytes(ResourceType.CAM_INVALIDATE) == 0
+
+    def test_build_parse_roundtrip(self):
+        rid = ResourceId(ResourceType.VLIW, stage=2)
+        entry = (1 << 624) | 0xABCDEF
+        pkt = build_reconfig_packet(rid, index=7, entry=entry)
+        payload = parse_reconfig_packet(pkt)
+        assert payload.resource == rid
+        assert payload.index == 7
+        assert payload.entry == entry
+
+    def test_packet_has_reconfig_port(self):
+        pkt = build_reconfig_packet(
+            ResourceId(ResourceType.SEGMENT, 0), index=1, entry=0x1020)
+        assert PacketFilter.is_reconfig_packet(pkt)
+
+    def test_oversized_entry_rejected(self):
+        with pytest.raises(ReconfigurationError):
+            build_reconfig_packet(ResourceId(ResourceType.SEGMENT, 0),
+                                  index=0, entry=1 << 16)
+
+    def test_non_reconfig_packet_rejected(self):
+        with pytest.raises(ReconfigurationError):
+            parse_reconfig_packet(data_packet())
+
+    def test_index_width(self):
+        with pytest.raises(ReconfigurationError):
+            build_reconfig_packet(ResourceId(ResourceType.SEGMENT, 0),
+                                  index=256, entry=0)
+
+
+class TestDaisyChain:
+    def chain(self):
+        f = PacketFilter()
+        chain = DaisyChain(f)
+        written = {}
+        chain.register(ResourceType.SEGMENT, 0,
+                       lambda i, e: written.__setitem__(i, e))
+        return chain, f, written
+
+    def test_delivery_applies_write_and_counts(self):
+        chain, f, written = self.chain()
+        pkt = build_reconfig_packet(ResourceId(ResourceType.SEGMENT, 0),
+                                    index=4, entry=0x2010)
+        payload = chain.deliver(pkt)
+        assert payload is not None
+        assert written[4] == 0x2010
+        assert f.read_counter() == 1
+
+    def test_lost_packet_does_not_count(self):
+        chain, f, written = self.chain()
+        chain.drop_next(1)
+        pkt = build_reconfig_packet(ResourceId(ResourceType.SEGMENT, 0),
+                                    index=4, entry=0x2010)
+        assert chain.deliver(pkt) is None
+        assert written == {}
+        assert f.read_counter() == 0
+        # Retry succeeds.
+        assert chain.deliver(pkt) is not None
+        assert f.read_counter() == 1
+
+    def test_unregistered_hop_rejected(self):
+        chain, _, _ = self.chain()
+        pkt = build_reconfig_packet(ResourceId(ResourceType.VLIW, 9),
+                                    index=0, entry=0)
+        with pytest.raises(ReconfigurationError):
+            chain.deliver(pkt)
+
+    def test_duplicate_hop_rejected(self):
+        chain, _, _ = self.chain()
+        with pytest.raises(ReconfigurationError):
+            chain.register(ResourceType.SEGMENT, 0, lambda i, e: None)
+
+    def test_hop_position(self):
+        chain, _, _ = self.chain()
+        chain.register(ResourceType.SEGMENT, 1, lambda i, e: None)
+        assert chain.hop_position(ResourceId(ResourceType.SEGMENT, 0)) == 0
+        assert chain.hop_position(ResourceId(ResourceType.SEGMENT, 1)) == 1
+
+
+class TestPartitionLedger:
+    def alloc(self, module_id, stage=1, start=0, count=4, base=0, words=16):
+        return ModuleAllocation(module_id, {
+            stage: StageAllocation(match_start=start, match_count=count,
+                                   stateful_base=base, stateful_words=words),
+        })
+
+    def test_grant_and_query(self):
+        ledger = PartitionLedger()
+        ledger.grant(self.alloc(1))
+        assert ledger.loaded_modules() == [1]
+        assert ledger.allocation_of(1).total_match_entries() == 4
+
+    def test_overlapping_match_rejected(self):
+        ledger = PartitionLedger()
+        ledger.grant(self.alloc(1, start=0, count=8))
+        with pytest.raises(AdmissionError):
+            ledger.grant(self.alloc(2, start=7, count=4))
+
+    def test_overlapping_stateful_rejected(self):
+        ledger = PartitionLedger()
+        ledger.grant(self.alloc(1, base=0, words=100))
+        with pytest.raises(AdmissionError):
+            ledger.grant(self.alloc(2, start=8, count=4, base=50, words=10))
+
+    def test_adjacent_allocations_ok(self):
+        ledger = PartitionLedger()
+        ledger.grant(self.alloc(1, start=0, count=8, base=0, words=64))
+        ledger.grant(self.alloc(2, start=8, count=8, base=64, words=64))
+        assert ledger.free_match_rows(1) == 0
+
+    def test_out_of_bounds_rejected(self):
+        ledger = PartitionLedger()
+        with pytest.raises(AdmissionError):
+            ledger.grant(self.alloc(1, start=10, count=10))  # 16-deep CAM
+        with pytest.raises(AdmissionError):
+            ledger.grant(self.alloc(1, base=200, words=100))  # 256 words
+
+    def test_bad_stage_rejected(self):
+        ledger = PartitionLedger()
+        with pytest.raises(AdmissionError):
+            ledger.grant(self.alloc(1, stage=5))
+
+    def test_module_id_bounds(self):
+        ledger = PartitionLedger()
+        with pytest.raises(AdmissionError):
+            ledger.grant(self.alloc(32))
+
+    def test_double_grant_rejected(self):
+        ledger = PartitionLedger()
+        ledger.grant(self.alloc(1))
+        with pytest.raises(AdmissionError):
+            ledger.grant(self.alloc(1))
+
+    def test_revoke_frees_rows(self):
+        ledger = PartitionLedger()
+        ledger.grant(self.alloc(1, start=0, count=16))
+        assert ledger.free_match_rows(1) == 0
+        ledger.revoke(1)
+        assert ledger.free_match_rows(1) == 16
+
+    def test_write_guards(self):
+        ledger = PartitionLedger()
+        ledger.grant(self.alloc(1, stage=1, start=4, count=4))
+        ledger.check_match_write(1, 1, 4)
+        ledger.check_match_write(1, 1, 7)
+        with pytest.raises(IsolationViolationError):
+            ledger.check_match_write(1, 1, 3)
+        with pytest.raises(IsolationViolationError):
+            ledger.check_match_write(1, 1, 8)
+        with pytest.raises(IsolationViolationError):
+            ledger.check_match_write(2, 1, 4)  # module 2 not loaded
+
+    def test_stateful_write_guard(self):
+        ledger = PartitionLedger()
+        ledger.grant(self.alloc(1, base=32, words=8))
+        ledger.check_stateful_write(1, 1, 32)
+        with pytest.raises(IsolationViolationError):
+            ledger.check_stateful_write(1, 1, 40)
+
+    def test_first_free_blocks(self):
+        ledger = PartitionLedger()
+        ledger.grant(self.alloc(1, start=4, count=4, base=64, words=64))
+        assert ledger.first_free_match_block(1, 4) == 0
+        assert ledger.first_free_match_block(1, 5) == 8
+        assert ledger.first_free_match_block(1, 9) is None
+        assert ledger.first_free_stateful_block(1, 64) == 0
+        assert ledger.first_free_stateful_block(1, 128) == 128
+        assert ledger.first_free_stateful_block(1, 200) is None

@@ -1,0 +1,35 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are part of the public API surface; breaking one is a
+regression even when the unit tests stay green."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_inventory():
+    assert set(EXAMPLES) >= {
+        "quickstart.py",
+        "multi_tenant_cloud.py",
+        "live_reconfiguration.py",
+        "netcache_kv_store.py",
+        "netchain_sequencer.py",
+        "ternary_firewall_pcap.py",
+    }
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, (
+        f"{example} failed:\n{result.stdout[-2000:]}\n"
+        f"{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{example} produced no output"

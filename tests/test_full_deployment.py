@@ -1,0 +1,139 @@
+"""Integration: the complete paper setup on one pipeline — system-level
+module plus all eight evaluated modules, resident simultaneously."""
+
+import pytest
+
+from repro.core import MenshenPipeline
+from repro.modules import (
+    calc,
+    firewall,
+    load_balancer,
+    multicast,
+    netcache,
+    netchain,
+    qos,
+    source_routing,
+)
+from repro.runtime import MenshenController
+from repro.sysmod import setup_system_module
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    pipe = MenshenPipeline()
+    ctl = MenshenController(pipe)
+    setup_system_module(ctl, routes={"10.0.0.2": 7})
+    pipe.traffic_manager.set_mcast_group(5, [1, 2])
+
+    ctl.load_module(1, calc.P4_SOURCE, "calc")
+    calc.install_entries(ctl, 1, port=1)
+    ctl.load_module(2, firewall.P4_SOURCE, "firewall")
+    firewall.install_entries(ctl, 2, blocked=[("10.0.0.66", 53)],
+                             allowed=[("10.0.0.1", 80, 2)])
+    ctl.load_module(3, load_balancer.P4_SOURCE, "lb")
+    load_balancer.install_entries(ctl, 3,
+                                  flows=[("10.0.0.1", 1111, 3, 8001)])
+    ctl.load_module(4, qos.P4_SOURCE, "qos")
+    qos.install_entries(ctl, 4)
+    ctl.load_module(5, source_routing.P4_SOURCE, "srcroute")
+    source_routing.install_entries(ctl, 5)
+    ctl.load_module(6, netcache.P4_SOURCE, "netcache")
+    netcache.install_entries(ctl, 6, cached=[(0xAA, 0, 4242)])
+    ctl.load_module(7, netchain.P4_SOURCE, "netchain")
+    netchain.install_entries(ctl, 7, port=6)
+    ctl.load_module(8, multicast.P4_SOURCE, "multicast")
+    multicast.install_entries(ctl, 8, groups=[("224.0.0.7", 5)])
+    return pipe, ctl
+
+
+class TestAllEightResident:
+    def test_all_loaded(self, deployment):
+        pipe, ctl = deployment
+        assert ctl.loaded_ids() == [1, 2, 3, 4, 5, 6, 7, 8]
+        assert ctl.system_module is not None
+
+    def test_modules_spread_across_user_stages(self, deployment):
+        pipe, ctl = deployment
+        # All tables sit in the user stages {1,2,3}; the balancer must
+        # have used more than one stage to fit 32 CAM rows of demand.
+        stages_used = set()
+        for loaded in ctl.modules.values():
+            stages_used.update(loaded.compiled.stages_used())
+        assert stages_used <= {1, 2, 3}
+        assert len(stages_used) >= 2
+
+    def test_no_partition_overlaps(self, deployment):
+        pipe, ctl = deployment
+        for stage_idx in range(pipe.params.num_stages):
+            taken = []
+            for loaded in list(ctl.modules.values()) + \
+                    [ctl.system_module]:
+                alloc = loaded.allocation.stage(stage_idx)
+                if alloc.match_count:
+                    taken.append((loaded.module_id, alloc.match_start,
+                                  alloc.match_end))
+            taken.sort(key=lambda t: t[1])
+            for (m1, s1, e1), (m2, s2, e2) in zip(taken, taken[1:]):
+                assert e1 <= s2, (stage_idx, m1, m2)
+
+    def test_every_module_behaves(self, deployment):
+        # NOTE: every generated packet's destination (10.0.0.2) is routed
+        # by the SYSTEM module's last-stage route table to port 7, which
+        # overrides tenant PORT actions — the paper's design: the system
+        # module owns physical routing; tenants only steer when the
+        # system has no route (see the multicast case below).
+        pipe, ctl = deployment
+        r = pipe.process(calc.make_packet(1, calc.OP_ADD, 20, 22))
+        assert calc.read_result(r.packet) == 42
+        assert r.egress_port == 7
+        assert pipe.process(firewall.make_packet(2, "10.0.0.66", 53)).dropped
+        r = pipe.process(firewall.make_packet(2, "10.0.0.1", 80))
+        assert r.forwarded and r.egress_port == 7
+        r = pipe.process(load_balancer.make_packet(3, "10.0.0.1", 1111))
+        assert load_balancer.read_dport(r.packet) == 8001  # rewrite holds
+        r = pipe.process(qos.make_packet(4, 5060))
+        assert qos.read_dscp(r.packet) == qos.DSCP_EF
+        r = pipe.process(source_routing.make_packet(5, 4))
+        assert r.forwarded
+        r = pipe.process(netcache.make_get(6, 0xAA))
+        assert netcache.read_value(r.packet) == 4242
+        seq1 = netchain.read_seq(
+            pipe.process(netchain.make_packet(7)).packet)
+        seq2 = netchain.read_seq(
+            pipe.process(netchain.make_packet(7)).packet)
+        assert seq2 == seq1 + 1
+        # 224.0.0.7 has no system route: the tenant's mcast tag stands.
+        r = pipe.process(multicast.make_packet(8, "224.0.0.7"))
+        assert r.mcast_group == 5
+
+    def test_interleaved_round_robin(self, deployment):
+        pipe, ctl = deployment
+        # Two full interleaved rounds: behavior stays correct.
+        for _ in range(2):
+            assert calc.read_result(pipe.process(
+                calc.make_packet(1, calc.OP_SUB, 9, 5)).packet) == 4
+            assert pipe.process(
+                firewall.make_packet(2, "10.0.0.66", 53)).dropped
+            assert pipe.process(
+                qos.make_packet(4, 9999)).forwarded
+            assert netcache.read_value(pipe.process(
+                netcache.make_get(6, 0xAA)).packet) == 4242
+
+    def test_system_route_applies_to_every_module(self, deployment):
+        pipe, ctl = deployment
+        # A packet to the routed physical IP gets the system port, no
+        # matter which module owns the packet.
+        from repro.modules.base import common_packet
+        payload = (calc.OP_ECHO.to_bytes(2, "big") + (5).to_bytes(4, "big")
+                   + bytes(8))
+        r = pipe.process(common_packet(1, payload, dst="10.0.0.2"))
+        assert r.egress_port == 7
+
+    def test_unload_one_reload_another(self, deployment):
+        pipe, ctl = deployment
+        ctl.unload_module(4)
+        assert pipe.process(qos.make_packet(4, 5060)).dropped
+        ctl.load_module(4, qos.P4_SOURCE, "qos")
+        qos.install_entries(ctl, 4)
+        r = pipe.process(qos.make_packet(4, 5060))
+        assert qos.read_dscp(r.packet) == qos.DSCP_EF

@@ -1,0 +1,248 @@
+"""Unit tests for the packet-crafting substrate (repro.net)."""
+
+import pytest
+
+from repro.errors import FieldRangeError, PacketError, TruncatedPacketError
+from repro.net import (
+    EthernetHeader,
+    Ipv4Address,
+    Ipv4Header,
+    MacAddress,
+    Packet,
+    PacketBuilder,
+    TcpHeader,
+    UdpHeader,
+    VlanTag,
+    internet_checksum,
+    parse_layers,
+)
+from repro.net.builder import COMMON_HEADER_LEN
+from repro.net.udp_ import MENSHEN_RECONFIG_DPORT
+
+
+class TestPacketBuffer:
+    def test_len_and_bytes(self):
+        pkt = Packet(b"\x01\x02\x03")
+        assert len(pkt) == 3
+        assert pkt.tobytes() == b"\x01\x02\x03"
+
+    def test_read_write_int_roundtrip(self):
+        pkt = Packet(b"\x00" * 8)
+        pkt.write_int(2, 4, 0xDEADBEEF)
+        assert pkt.read_int(2, 4) == 0xDEADBEEF
+
+    def test_out_of_range_read(self):
+        pkt = Packet(b"\x00" * 4)
+        with pytest.raises(TruncatedPacketError):
+            pkt.read_bytes(2, 3)
+
+    def test_negative_offset(self):
+        with pytest.raises(TruncatedPacketError):
+            Packet(b"\x00" * 4).read_bytes(-1, 2)
+
+    def test_write_int_range_check(self):
+        pkt = Packet(b"\x00" * 4)
+        with pytest.raises(FieldRangeError):
+            pkt.write_int(0, 1, 256)
+
+    def test_pad_and_truncate(self):
+        pkt = Packet(b"\xaa")
+        pkt.pad_to(4)
+        assert pkt.tobytes() == b"\xaa\x00\x00\x00"
+        pkt.truncate(2)
+        assert len(pkt) == 2
+
+    def test_pad_to_smaller_is_noop(self):
+        pkt = Packet(b"\xaa\xbb")
+        pkt.pad_to(1)
+        assert len(pkt) == 2
+
+    def test_copy_is_independent(self):
+        pkt = Packet(b"\x01\x02", ingress_port=3)
+        dup = pkt.copy()
+        dup.write_int(0, 1, 0xFF)
+        assert pkt.read_int(0, 1) == 0x01
+        assert dup.ingress_port == 3
+
+    def test_equality_with_bytes(self):
+        assert Packet(b"\x01") == b"\x01"
+        assert Packet(b"\x01") == Packet(b"\x01")
+
+
+class TestMacAddress:
+    def test_from_string_roundtrip(self):
+        mac = MacAddress("02:00:00:00:00:2a")
+        assert str(mac) == "02:00:00:00:00:2a"
+        assert int(mac) == 0x02000000002A
+
+    def test_from_int_and_bytes(self):
+        assert MacAddress(0x1).tobytes() == b"\x00" * 5 + b"\x01"
+        assert MacAddress(b"\xff" * 6).is_broadcast
+
+    def test_multicast_bit(self):
+        assert MacAddress("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress("02:00:00:00:00:01").is_multicast
+
+    def test_bad_strings(self):
+        for bad in ["", "1:2:3", "zz:00:00:00:00:00", "01:02:03:04:05:666"]:
+            with pytest.raises(FieldRangeError):
+                MacAddress(bad)
+
+    def test_int_out_of_range(self):
+        with pytest.raises(FieldRangeError):
+            MacAddress(1 << 48)
+
+    def test_equality_modes(self):
+        assert MacAddress("02:00:00:00:00:01") == "02:00:00:00:00:01"
+        assert MacAddress(5) == 5
+
+
+class TestIpv4Address:
+    def test_string_roundtrip(self):
+        ip = Ipv4Address("10.1.2.3")
+        assert str(ip) == "10.1.2.3"
+        assert int(ip) == (10 << 24) | (1 << 16) | (2 << 8) | 3
+
+    def test_bad_strings(self):
+        for bad in ["10.0.0", "256.0.0.1", "a.b.c.d", "1.2.3.4.5"]:
+            with pytest.raises(FieldRangeError):
+                Ipv4Address(bad)
+
+    def test_subnet_membership(self):
+        ip = Ipv4Address("192.168.1.77")
+        assert ip.in_subnet(Ipv4Address("192.168.1.0"), 24)
+        assert not ip.in_subnet(Ipv4Address("192.168.2.0"), 24)
+        assert ip.in_subnet(Ipv4Address("0.0.0.0"), 0)
+
+    def test_subnet_bad_prefix(self):
+        with pytest.raises(FieldRangeError):
+            Ipv4Address("1.2.3.4").in_subnet(Ipv4Address("0.0.0.0"), 33)
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Classic example: checksum of this word sequence is 0xddf2.
+        data = bytes([0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+
+class TestBuilderAndViews:
+    def build_udp(self, vid=7, payload=b"hello", **udp_kw):
+        return (PacketBuilder()
+                .ethernet(src="02:00:00:00:00:01", dst="02:00:00:00:00:02")
+                .vlan(vid=vid)
+                .ipv4(src="10.0.0.1", dst="10.0.0.2")
+                .udp(**({"sport": 5000, "dport": 5001} | udp_kw))
+                .payload(payload)
+                .build())
+
+    def test_common_header_length(self):
+        pkt = self.build_udp(payload=b"")
+        assert len(pkt) == COMMON_HEADER_LEN
+
+    def test_layers_parse_back(self):
+        pkt = self.build_udp()
+        layers = parse_layers(pkt)
+        assert isinstance(layers["ethernet"], EthernetHeader)
+        assert isinstance(layers["vlan"], VlanTag)
+        assert isinstance(layers["ipv4"], Ipv4Header)
+        assert isinstance(layers["udp"], UdpHeader)
+        assert layers["vlan"].vid == 7
+        assert str(layers["ipv4"].dst) == "10.0.0.2"
+        assert layers["udp"].sport == 5000
+
+    def test_ip_total_length_and_udp_length(self):
+        pkt = self.build_udp(payload=b"x" * 10)
+        layers = parse_layers(pkt)
+        assert layers["ipv4"].total_length == 20 + 8 + 10
+        assert layers["udp"].length == 8 + 10
+
+    def test_ipv4_checksum_valid(self):
+        pkt = self.build_udp()
+        assert parse_layers(pkt)["ipv4"].checksum_ok()
+
+    def test_checksum_invalidated_by_mutation(self):
+        pkt = self.build_udp()
+        ip = parse_layers(pkt)["ipv4"]
+        ip.ttl = 10
+        assert not ip.checksum_ok()
+        ip.update_checksum()
+        assert ip.checksum_ok()
+
+    def test_tcp_packet(self):
+        pkt = (PacketBuilder()
+               .ethernet()
+               .vlan(vid=3)
+               .ipv4()
+               .tcp(sport=1234, dport=80, seq=42, flags=0x02)
+               .payload(b"GET")
+               .build())
+        layers = parse_layers(pkt)
+        tcp = layers["tcp"]
+        assert isinstance(tcp, TcpHeader)
+        assert tcp.sport == 1234 and tcp.dport == 80
+        assert tcp.seq == 42
+        assert tcp.has_flag(0x02)
+        assert layers["ipv4"].protocol == 6
+
+    def test_no_vlan_packet(self):
+        pkt = (PacketBuilder().ethernet().ipv4().udp().build())
+        layers = parse_layers(pkt)
+        assert "vlan" not in layers
+        assert "udp" in layers
+
+    def test_vlan_requires_ethernet(self):
+        with pytest.raises(PacketError):
+            PacketBuilder().vlan(vid=1)
+
+    def test_udp_requires_ipv4(self):
+        with pytest.raises(PacketError):
+            PacketBuilder().ethernet().udp()
+
+    def test_udp_and_tcp_mutually_exclusive(self):
+        builder = PacketBuilder().ethernet().ipv4().udp()
+        with pytest.raises(PacketError):
+            builder.tcp()
+
+    def test_build_requires_ethernet(self):
+        with pytest.raises(PacketError):
+            PacketBuilder().build()
+
+    def test_pad_to_minimum_frame(self):
+        pkt = self.build_udp(payload=b"")
+        assert len(pkt) == 46
+        pkt2 = (PacketBuilder().ethernet().vlan(vid=1).ipv4().udp()
+                .build(pad_to=64))
+        assert len(pkt2) == 64
+
+    def test_reconfig_port_detection(self):
+        pkt = self.build_udp(dport=MENSHEN_RECONFIG_DPORT)
+        assert parse_layers(pkt)["udp"].is_reconfig
+
+    def test_vlan_tci_subfields(self):
+        pkt = (PacketBuilder().ethernet().vlan(vid=0xABC, pcp=5, dei=1)
+               .ipv4().udp().build())
+        vlan = parse_layers(pkt)["vlan"]
+        assert vlan.vid == 0xABC
+        assert vlan.pcp == 5
+        assert vlan.dei == 1
+        vlan.vid = 0x123
+        assert vlan.pcp == 5  # VID write must not clobber PCP/DEI
+        assert vlan.dei == 1
+
+    def test_dscp_set_preserves_ecn(self):
+        pkt = self.build_udp()
+        ip = parse_layers(pkt)["ipv4"]
+        ip.dscp = 46
+        assert ip.dscp == 46
+        assert ip.ecn == 0
+
+    def test_header_view_bounds(self):
+        with pytest.raises(TruncatedPacketError):
+            EthernetHeader(Packet(b"\x00" * 10), 0)

@@ -1,0 +1,310 @@
+"""Property-based tests (hypothesis) on core data structures and the
+isolation invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import bits
+from repro.core import OverlayTable, SegmentTable, SegmentedAccess
+from repro.core.reconfig import (
+    ResourceId,
+    ResourceType,
+    build_reconfig_packet,
+    entry_payload_bytes,
+    parse_reconfig_packet,
+)
+from repro.errors import SegmentFaultError
+from repro.net.checksum import internet_checksum
+from repro.rmt import (
+    AluAction,
+    AluOp,
+    ExactMatchTable,
+    StatefulMemory,
+    VliwInstruction,
+)
+from repro.rmt.action_engine import ActionEngine, StatefulAccess
+from repro.rmt.encodings import (
+    decode_cam_entry,
+    decode_key,
+    decode_parse_action,
+    decode_parser_entry,
+    encode_cam_entry,
+    encode_key,
+    encode_parse_action,
+    encode_parser_entry,
+)
+from repro.rmt.phv import PHV, ContainerRef, ContainerType
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+container_refs = st.builds(
+    ContainerRef,
+    st.sampled_from([ContainerType.B2, ContainerType.B4, ContainerType.B6]),
+    st.integers(0, 7))
+
+key_parts = st.tuples(
+    st.integers(0, (1 << 48) - 1), st.integers(0, (1 << 48) - 1),
+    st.integers(0, (1 << 32) - 1), st.integers(0, (1 << 32) - 1),
+    st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+
+
+# ---------------------------------------------------------------------------
+# bit packing
+# ---------------------------------------------------------------------------
+
+class TestBitsProperties:
+    @given(st.integers(0, (1 << 193) - 1), st.integers(1, 205))
+    def test_bytes_roundtrip(self, value, width):
+        if value < (1 << width):
+            assert bits.from_bytes(bits.to_bytes(value, width),
+                                   width) == value
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.just(8)),
+                    min_size=1, max_size=20))
+    def test_concat_split_inverse(self, fields):
+        word = bits.concat_fields(fields)
+        assert bits.split_fields(word, [w for _v, w in fields]) \
+            == [v for v, _w in fields]
+
+    @given(st.integers(0, (1 << 16) - 1), st.integers(0, 15),
+           st.integers(1, 8))
+    def test_set_get_bits(self, word, offset, width):
+        value = word & bits.mask(width)
+        updated = bits.set_bits(word, offset, width, value)
+        assert bits.get_bits(updated, offset, width) == value
+
+
+# ---------------------------------------------------------------------------
+# encodings
+# ---------------------------------------------------------------------------
+
+class TestEncodingProperties:
+    @given(st.integers(0, 127), st.integers(0, 2), st.integers(0, 7),
+           st.integers(0, 1))
+    def test_parse_action_roundtrip(self, offset, ctype, cindex, valid):
+        word = encode_parse_action(offset, ctype, cindex, valid)
+        fields = decode_parse_action(word)
+        assert (fields["bytes_from_head"], fields["container_type"],
+                fields["container_index"], fields["valid"]) == \
+            (offset, ctype, cindex, valid)
+
+    @given(st.lists(st.integers(0, (1 << 16) - 1), min_size=0, max_size=10))
+    def test_parser_entry_roundtrip(self, actions):
+        entry = encode_parser_entry(actions)
+        decoded = decode_parser_entry(entry)
+        assert decoded[:len(actions)] == actions
+        assert all(w == 0 for w in decoded[len(actions):])
+
+    @given(key_parts, st.integers(0, 1))
+    def test_key_roundtrip(self, parts, flag):
+        key = encode_key(list(parts), flag)
+        back, back_flag = decode_key(key)
+        assert tuple(back) == parts and back_flag == flag
+
+    @given(key_parts, st.integers(0, 1), st.integers(0, 0xFFF))
+    def test_cam_entry_roundtrip(self, parts, flag, module_id):
+        key = encode_key(list(parts), flag)
+        entry = encode_cam_entry(key, module_id)
+        assert decode_cam_entry(entry) == (key, module_id)
+
+    @given(container_refs, container_refs)
+    def test_two_operand_alu_roundtrip(self, c1, c2):
+        for op in (AluOp.ADD, AluOp.SUB):
+            action = AluAction(op, c1=c1, c2=c2)
+            assert AluAction.decode(action.encode()) == action
+
+    @given(container_refs, st.integers(0, (1 << 16) - 1),
+           st.sampled_from([AluOp.ADDI, AluOp.SUBI, AluOp.LOAD,
+                            AluOp.STORE, AluOp.LOADD, AluOp.PORT,
+                            AluOp.MCAST]))
+    def test_immediate_alu_roundtrip(self, c1, imm, op):
+        action = AluAction(op, c1=c1, immediate=imm)
+        assert AluAction.decode(action.encode()) == action
+
+    @given(st.dictionaries(st.integers(0, 23),
+                           st.builds(lambda i: AluAction(AluOp.SET,
+                                                         immediate=i),
+                                     st.integers(0, 0xFFFF)),
+                           max_size=10))
+    def test_vliw_roundtrip(self, sparse):
+        instr = VliwInstruction.from_sparse(sparse)
+        assert VliwInstruction.decode(instr.encode()) == instr
+
+
+# ---------------------------------------------------------------------------
+# checksum
+# ---------------------------------------------------------------------------
+
+class TestChecksumProperties:
+    @given(st.binary(min_size=0, max_size=256).filter(
+        lambda d: len(d) % 2 == 0))
+    def test_data_plus_checksum_verifies(self, data):
+        # The verification identity holds when the checksum slot is
+        # 16-bit aligned, which is how every real header lays it out.
+        checksum = internet_checksum(data)
+        assert internet_checksum(data + checksum.to_bytes(2, "big")) == 0
+
+    @given(st.binary(min_size=2, max_size=64))
+    def test_checksum_detects_single_bit_flips(self, data):
+        checksum = internet_checksum(data)
+        flipped = bytearray(data)
+        flipped[0] ^= 0x01
+        if bytes(flipped) != data:
+            assert internet_checksum(bytes(flipped)) != checksum
+
+
+# ---------------------------------------------------------------------------
+# isolation invariants
+# ---------------------------------------------------------------------------
+
+class TestIsolationProperties:
+    @given(st.lists(st.tuples(st.integers(0, 31),
+                              st.integers(0, (1 << 16) - 1)),
+                    min_size=1, max_size=50))
+    def test_overlay_rows_independent(self, writes):
+        """Writing any sequence of rows never changes other rows."""
+        table = OverlayTable("t", 16, 32)
+        shadow = {}
+        for module_id, value in writes:
+            table.write(module_id, value)
+            shadow[module_id] = value
+            for m in range(32):
+                assert table.lookup(m) == shadow.get(m, 0)
+
+    @given(st.integers(0, 255), st.integers(1, 255), st.integers(0, 300))
+    def test_segment_translation_bounds(self, offset, range_, addr):
+        seg = SegmentTable("seg", 32)
+        seg.set_segment(5, offset=offset, range_=range_)
+        if 0 <= addr < range_:
+            phys = seg.translate(5, addr)
+            assert offset <= phys < offset + range_
+        else:
+            try:
+                seg.translate(5, addr)
+                assert False, "expected a segment fault"
+            except SegmentFaultError:
+                pass
+
+    @given(st.lists(st.tuples(st.integers(1, 4), st.integers(0, 15),
+                              st.integers(0, (1 << 32) - 1)),
+                    min_size=1, max_size=40))
+    def test_segmented_memory_never_crosses(self, ops):
+        """Random per-module writes only land in the owner's segment."""
+        mem = StatefulMemory(words=64)
+        seg = SegmentTable("seg", 32)
+        bases = {1: 0, 2: 16, 3: 32, 4: 48}
+        for module_id, base in bases.items():
+            seg.set_segment(module_id, offset=base, range_=16)
+        access = SegmentedAccess(mem, seg)
+        shadow = {m: [0] * 16 for m in bases}
+        for module_id, addr, value in ops:
+            access.write(module_id, addr, value)
+            shadow[module_id][addr] = value
+        for module_id, base in bases.items():
+            assert mem.region(base, 16) == shadow[module_id]
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 0xFF),
+                              st.integers(1, 4)),
+                    min_size=1, max_size=16,
+                    unique_by=lambda t: t[0]))
+    def test_cam_module_id_is_hard_boundary(self, entries):
+        """A module's lookups only ever hit its own entries."""
+        cam = ExactMatchTable()
+        seen = set()
+        installed = []
+        for index, key, module_id in entries:
+            if (key, module_id) in seen:
+                continue
+            seen.add((key, module_id))
+            cam.write(index, key=key, module_id=module_id)
+            installed.append((index, key, module_id))
+        for index, key, module_id in installed:
+            for other in range(1, 5):
+                hit = cam.lookup(key, other)
+                if hit is not None:
+                    entry = cam.read(hit)
+                    assert entry.module_id == other
+
+
+# ---------------------------------------------------------------------------
+# action engine
+# ---------------------------------------------------------------------------
+
+class TestEngineProperties:
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_add_matches_wrapping_arithmetic(self, a, b):
+        engine = ActionEngine(StatefulAccess(StatefulMemory(4)))
+        phv = PHV()
+        phv.set(ContainerRef(ContainerType.B2, 1), a)
+        phv.set(ContainerRef(ContainerType.B2, 2), b)
+        instr = VliwInstruction.from_sparse({
+            0: AluAction(AluOp.ADD, c1=ContainerRef(ContainerType.B2, 1),
+                         c2=ContainerRef(ContainerType.B2, 2)),
+        })
+        out = engine.execute(instr, phv, 0)
+        assert out.get(ContainerRef(ContainerType.B2, 0)) \
+            == (a + b) % (1 << 16)
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_execution_is_deterministic(self, a, imm):
+        engine = ActionEngine(StatefulAccess(StatefulMemory(4)))
+        phv = PHV()
+        phv.set(ContainerRef(ContainerType.B2, 0), a)
+        instr = VliwInstruction.from_sparse({
+            1: AluAction(AluOp.ADDI, c1=ContainerRef(ContainerType.B2, 0),
+                         immediate=imm),
+        })
+        out1 = engine.execute(instr, phv, 0)
+        out2 = engine.execute(instr, phv, 0)
+        assert out1 == out2
+
+    @given(st.integers(0, 0xFFFF))
+    def test_all_nop_is_identity(self, value):
+        engine = ActionEngine(StatefulAccess(StatefulMemory(4)))
+        phv = PHV()
+        phv.set(ContainerRef(ContainerType.B2, 3), value)
+        out = engine.execute(VliwInstruction(), phv, 0)
+        assert out == phv
+
+
+# ---------------------------------------------------------------------------
+# reconfiguration packets
+# ---------------------------------------------------------------------------
+
+class TestReconfigProperties:
+    @given(st.sampled_from(list(ResourceType)), st.integers(0, 4),
+           st.integers(0, 255), st.data())
+    @settings(max_examples=60)
+    def test_reconfig_packet_roundtrip(self, rtype, stage, index, data):
+        nbytes = entry_payload_bytes(rtype)
+        entry = data.draw(st.integers(0, (1 << (8 * nbytes)) - 1)) \
+            if nbytes else 0
+        resource = ResourceId(rtype, stage)
+        packet = build_reconfig_packet(resource, index, entry)
+        payload = parse_reconfig_packet(packet)
+        assert payload.resource == resource
+        assert payload.index == index
+        assert payload.entry == entry
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: CALC vs its golden model
+# ---------------------------------------------------------------------------
+
+class TestEndToEndProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.sampled_from([1, 2, 3]), st.integers(0, (1 << 32) - 1),
+           st.integers(0, (1 << 32) - 1))
+    def test_calc_matches_reference(self, op, a, b):
+        from repro.core import MenshenPipeline
+        from repro.modules import calc
+        from repro.runtime import MenshenController
+
+        pipe = MenshenPipeline()
+        ctl = MenshenController(pipe)
+        ctl.load_module(1, calc.P4_SOURCE, "calc")
+        calc.install_entries(ctl, 1)
+        result = pipe.process(calc.make_packet(1, op, a, b))
+        assert calc.read_result(result.packet) == \
+            calc.reference_result(op, a, b)

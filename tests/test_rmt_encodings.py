@@ -1,0 +1,229 @@
+"""Tests for the bit-accurate entry encodings (Fig. 7 widths)."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.rmt import encodings as enc
+from repro.rmt.action import AluAction, AluOp, NOP_ACTION, VliwInstruction
+from repro.rmt.key_extractor import CmpOp, KeyExtractEntry
+from repro.rmt.parser import ParseAction
+from repro.rmt.phv import ContainerRef, ContainerType
+
+
+class TestParseActionEncoding:
+    def test_roundtrip(self):
+        word = enc.encode_parse_action(bytes_from_head=46, container_type=1,
+                                       container_index=3, valid=1)
+        fields = enc.decode_parse_action(word)
+        assert fields["bytes_from_head"] == 46
+        assert fields["container_type"] == 1
+        assert fields["container_index"] == 3
+        assert fields["valid"] == 1
+
+    def test_width_is_16_bits(self):
+        word = enc.encode_parse_action(127, 3, 7, 1)
+        assert word < (1 << 16)
+
+    def test_bytes_from_head_covers_window(self):
+        # 7 bits must cover the full 128-byte window.
+        enc.encode_parse_action(127, 0, 0, 1)
+        with pytest.raises(EncodingError):
+            enc.encode_parse_action(128, 0, 0, 1)
+
+    def test_parse_action_dataclass_roundtrip(self):
+        action = ParseAction(bytes_from_head=20,
+                             container=ContainerRef(ContainerType.B6, 5))
+        assert ParseAction.decode(action.encode()) == action
+
+    def test_invalid_action_decodes_invalid(self):
+        action = ParseAction(10, ContainerRef(ContainerType.B2, 0),
+                             valid=False)
+        assert not ParseAction.decode(action.encode()).valid
+
+
+class TestParserEntryEncoding:
+    def test_entry_width_160(self):
+        actions = [enc.encode_parse_action(i, 0, i % 8, 1) for i in range(10)]
+        entry = enc.encode_parser_entry(actions)
+        assert entry < (1 << 160)
+
+    def test_roundtrip_and_padding(self):
+        actions = [enc.encode_parse_action(5, 1, 2, 1)]
+        entry = enc.encode_parser_entry(actions)
+        words = enc.decode_parser_entry(entry)
+        assert len(words) == 10
+        assert words[0] == actions[0]
+        assert all(w == 0 for w in words[1:])
+
+    def test_too_many_actions(self):
+        with pytest.raises(EncodingError):
+            enc.encode_parser_entry([0] * 11)
+
+
+class TestKeyEncoding:
+    def test_key_width_193(self):
+        parts = [(1 << 48) - 1, (1 << 48) - 1, (1 << 32) - 1,
+                 (1 << 32) - 1, 0xFFFF, 0xFFFF]
+        key = enc.encode_key(parts, 1)
+        assert key == (1 << 193) - 1
+
+    def test_roundtrip(self):
+        parts = [0x0102030405, 0, 0xAABBCCDD, 1, 0x1234, 0xFFFF]
+        key = enc.encode_key(parts, 0)
+        back, flag = enc.decode_key(key)
+        assert back == parts
+        assert flag == 0
+
+    def test_flag_is_lsb(self):
+        key0 = enc.encode_key([0] * 6, 0)
+        key1 = enc.encode_key([0] * 6, 1)
+        assert key1 - key0 == 1
+
+    def test_needs_six_parts(self):
+        with pytest.raises(EncodingError):
+            enc.encode_key([0] * 5, 0)
+
+
+class TestCamEntryEncoding:
+    def test_width_205(self):
+        word = enc.encode_cam_entry((1 << 193) - 1, 0xFFF)
+        assert word == (1 << 205) - 1
+
+    def test_roundtrip(self):
+        word = enc.encode_cam_entry(0xABCDEF, 42)
+        key, module_id = enc.decode_cam_entry(word)
+        assert key == 0xABCDEF
+        assert module_id == 42
+
+    def test_module_id_in_low_bits(self):
+        word = enc.encode_cam_entry(0, 7)
+        assert word == 7
+
+
+class TestKeyExtractEntry:
+    def test_roundtrip_with_container_operands(self):
+        entry = KeyExtractEntry(
+            idx_6b_1=1, idx_6b_2=2, idx_4b_1=3, idx_4b_2=4,
+            idx_2b_1=5, idx_2b_2=6,
+            cmp_op=CmpOp.GT,
+            cmp_a=ContainerRef(ContainerType.B2, 3),
+            cmp_b=100,
+        )
+        assert KeyExtractEntry.decode(entry.encode()) == entry
+
+    def test_width_38(self):
+        entry = KeyExtractEntry(idx_6b_1=7, idx_6b_2=7, idx_4b_1=7,
+                                idx_4b_2=7, idx_2b_1=7, idx_2b_2=7,
+                                cmp_op=CmpOp.ALWAYS,
+                                cmp_a=ContainerRef(ContainerType.B6, 7),
+                                cmp_b=127)
+        assert entry.encode() < (1 << 38)
+
+    def test_immediate_operand_limit(self):
+        with pytest.raises(EncodingError):
+            enc.encode_cmp_operand(False, 128)  # only 7-bit immediates
+
+    def test_operand_discrimination(self):
+        is_c, val = enc.decode_cmp_operand(enc.encode_cmp_operand(True, 0x1F))
+        assert is_c and val == 0x1F
+        is_c, val = enc.decode_cmp_operand(enc.encode_cmp_operand(False, 99))
+        assert not is_c and val == 99
+
+
+class TestAluActionEncoding:
+    def test_add_roundtrip(self):
+        action = AluAction(AluOp.ADD, c1=ContainerRef(ContainerType.B4, 1),
+                           c2=ContainerRef(ContainerType.B4, 2))
+        assert AluAction.decode(action.encode()) == action
+
+    def test_immediate_roundtrip(self):
+        action = AluAction(AluOp.ADDI, c1=ContainerRef(ContainerType.B2, 0),
+                           immediate=0xBEEF)
+        assert AluAction.decode(action.encode()) == action
+
+    def test_set_roundtrip(self):
+        action = AluAction(AluOp.SET, immediate=42)
+        decoded = AluAction.decode(action.encode())
+        assert decoded.opcode == AluOp.SET
+        assert decoded.immediate == 42
+
+    def test_stateful_roundtrip(self):
+        for op in (AluOp.LOAD, AluOp.STORE, AluOp.LOADD):
+            action = AluAction(op, c1=ContainerRef(ContainerType.B2, 7),
+                               immediate=12)
+            assert AluAction.decode(action.encode()) == action
+
+    def test_port_and_discard(self):
+        port = AluAction(AluOp.PORT, c1=ContainerRef(ContainerType.B2, 0),
+                         immediate=3)
+        assert AluAction.decode(port.encode()) == port
+        discard = AluAction(AluOp.DISCARD)
+        assert AluAction.decode(discard.encode()) == discard
+
+    def test_width_25(self):
+        action = AluAction(AluOp.SET, immediate=0xFFFF)
+        assert action.encode() < (1 << 25)
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(EncodingError):
+            AluAction(AluOp.ADD, c1=ContainerRef(ContainerType.B2, 0))
+
+    def test_immediate_on_two_operand_rejected(self):
+        with pytest.raises(EncodingError):
+            AluAction(AluOp.ADD, c1=ContainerRef(ContainerType.B2, 0),
+                      c2=ContainerRef(ContainerType.B2, 1), immediate=5)
+
+    def test_c2_on_immediate_form_rejected(self):
+        with pytest.raises(EncodingError):
+            AluAction(AluOp.ADDI, c1=ContainerRef(ContainerType.B2, 0),
+                      c2=ContainerRef(ContainerType.B2, 1), immediate=5)
+
+    def test_immediate_overflow(self):
+        with pytest.raises(EncodingError):
+            AluAction(AluOp.SET, immediate=1 << 16)
+
+    def test_nonzero_reserved_rejected_on_decode(self):
+        word = AluAction(AluOp.ADD, c1=ContainerRef(ContainerType.B2, 0),
+                         c2=ContainerRef(ContainerType.B2, 1)).encode()
+        with pytest.raises(EncodingError):
+            AluAction.decode(word | 1)  # dirty reserved bit
+
+
+class TestVliwEncoding:
+    def test_width_625(self):
+        instr = VliwInstruction()
+        assert instr.encode() == 0  # all NOPs encode to zero
+
+    def test_sparse_roundtrip(self):
+        instr = VliwInstruction.from_sparse({
+            0: AluAction(AluOp.SET, immediate=7),
+            8: AluAction(AluOp.ADD, c1=ContainerRef(ContainerType.B4, 0),
+                         c2=ContainerRef(ContainerType.B4, 1)),
+            24: AluAction(AluOp.DISCARD),
+        })
+        decoded = VliwInstruction.decode(instr.encode())
+        assert decoded == instr
+        assert len(decoded.non_nop()) == 3
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(EncodingError):
+            VliwInstruction([NOP_ACTION] * 24)
+
+    def test_sparse_slot_bounds(self):
+        with pytest.raises(EncodingError):
+            VliwInstruction.from_sparse({25: NOP_ACTION})
+
+    def test_slot0_is_msb(self):
+        instr = VliwInstruction.from_sparse({0: AluAction(AluOp.DISCARD)})
+        word = instr.encode()
+        # Slot 0 occupies the top 25 bits of the 625-bit word.
+        assert (word >> 600) == AluAction(AluOp.DISCARD).encode()
+
+
+class TestSegmentEncoding:
+    def test_roundtrip(self):
+        word = enc.encode_segment_entry(offset=64, range_=32)
+        assert enc.decode_segment_entry(word) == (64, 32)
+
+    def test_width_16(self):
+        assert enc.encode_segment_entry(255, 255) == 0xFFFF

@@ -1,0 +1,182 @@
+"""Unit tests for the PHV, containers, and metadata."""
+
+import pytest
+
+from repro.errors import ConfigError, FieldRangeError
+from repro.rmt import PHV, ContainerRef, ContainerType, Metadata
+from repro.rmt.params import DEFAULT_PARAMS
+
+
+class TestContainerRef:
+    def test_encode5_layout(self):
+        # type in bits 4:3, index in bits 2:0
+        assert ContainerRef(ContainerType.B2, 0).encode5() == 0
+        assert ContainerRef(ContainerType.B4, 3).encode5() == 0b01011
+        assert ContainerRef(ContainerType.B6, 7).encode5() == 0b10111
+
+    def test_decode5_roundtrip(self):
+        for ctype in (ContainerType.B2, ContainerType.B4, ContainerType.B6):
+            for index in range(8):
+                ref = ContainerRef(ctype, index)
+                assert ContainerRef.decode5(ref.encode5()) == ref
+
+    def test_index_bounds(self):
+        with pytest.raises(FieldRangeError):
+            ContainerRef(ContainerType.B2, 8)
+        with pytest.raises(FieldRangeError):
+            ContainerRef(ContainerType.META, 1)
+
+    def test_flat_index_mapping(self):
+        assert ContainerRef(ContainerType.B2, 0).flat_index == 0
+        assert ContainerRef(ContainerType.B4, 0).flat_index == 8
+        assert ContainerRef(ContainerType.B6, 7).flat_index == 23
+        assert ContainerRef(ContainerType.META, 0).flat_index == 24
+
+    def test_from_flat_roundtrip(self):
+        for flat in range(25):
+            assert ContainerRef.from_flat(flat).flat_index == flat
+
+    def test_from_flat_bounds(self):
+        with pytest.raises(FieldRangeError):
+            ContainerRef.from_flat(25)
+
+    def test_sizes(self):
+        assert ContainerRef(ContainerType.B2, 0).size_bytes == 2
+        assert ContainerRef(ContainerType.B4, 0).size_bytes == 4
+        assert ContainerRef(ContainerType.B6, 0).size_bytes == 6
+
+
+class TestMetadata:
+    def test_starts_zeroed(self):
+        meta = Metadata()
+        assert bytes(meta.buf) == b"\x00" * 32
+
+    def test_discard_flag_roundtrip(self):
+        meta = Metadata()
+        meta.discard = True
+        assert meta.discard
+        meta.discard = False
+        assert not meta.discard
+
+    def test_field_roundtrips(self):
+        meta = Metadata()
+        meta.dst_port = 5
+        meta.src_port = 2
+        meta.pkt_len = 1500
+        meta.mcast_group = 9
+        meta.module_id = 0xFFF
+        meta.enq_timestamp = 123456
+        meta.queue_delay = 789
+        assert meta.dst_port == 5
+        assert meta.src_port == 2
+        assert meta.pkt_len == 1500
+        assert meta.mcast_group == 9
+        assert meta.module_id == 0xFFF
+        assert meta.enq_timestamp == 123456
+        assert meta.queue_delay == 789
+
+    def test_field_range_check(self):
+        with pytest.raises(FieldRangeError):
+            Metadata().dst_port = 1 << 16
+
+    def test_copy_independent(self):
+        meta = Metadata()
+        meta.dst_port = 1
+        dup = meta.copy()
+        dup.dst_port = 2
+        assert meta.dst_port == 1
+
+
+class TestPHV:
+    def test_fresh_phv_is_zero(self):
+        # Isolation property: the PHV is zeroed for each incoming packet.
+        assert PHV().is_zero()
+
+    def test_get_set_roundtrip(self):
+        phv = PHV()
+        ref = ContainerRef(ContainerType.B4, 2)
+        phv.set(ref, 0xDEADBEEF)
+        assert phv.get(ref) == 0xDEADBEEF
+
+    def test_set_range_check(self):
+        phv = PHV()
+        with pytest.raises(FieldRangeError):
+            phv.set(ContainerRef(ContainerType.B2, 0), 1 << 16)
+
+    def test_set_wrapping(self):
+        phv = PHV()
+        ref = ContainerRef(ContainerType.B2, 0)
+        phv.set_wrapping(ref, (1 << 16) + 5)
+        assert phv.get(ref) == 5
+        phv.set_wrapping(ref, -1)
+        assert phv.get(ref) == 0xFFFF
+
+    def test_bytes_roundtrip(self):
+        phv = PHV()
+        ref = ContainerRef(ContainerType.B6, 1)
+        phv.set_bytes(ref, b"\x01\x02\x03\x04\x05\x06")
+        assert phv.get_bytes(ref) == b"\x01\x02\x03\x04\x05\x06"
+
+    def test_set_bytes_wrong_length(self):
+        with pytest.raises(FieldRangeError):
+            PHV().set_bytes(ContainerRef(ContainerType.B2, 0), b"\x01")
+
+    def test_metadata_not_container_accessible(self):
+        phv = PHV()
+        meta_ref = ContainerRef(ContainerType.META, 0)
+        with pytest.raises(ConfigError):
+            phv.get(meta_ref)
+        with pytest.raises(ConfigError):
+            phv.set(meta_ref, 1)
+
+    def test_copy_independent(self):
+        phv = PHV()
+        ref = ContainerRef(ContainerType.B2, 0)
+        phv.set(ref, 7)
+        dup = phv.copy()
+        dup.set(ref, 9)
+        dup.metadata.dst_port = 3
+        assert phv.get(ref) == 7
+        assert phv.metadata.dst_port == 0
+
+    def test_containers_enumeration(self):
+        phv = PHV()
+        refs = [r for r, _ in phv.containers()]
+        assert len(refs) == 24
+        assert len(set(r.flat_index for r in refs)) == 24
+
+    def test_equality(self):
+        a, b = PHV(), PHV()
+        assert a == b
+        a.set(ContainerRef(ContainerType.B2, 0), 1)
+        assert a != b
+
+
+class TestParamsGeometry:
+    def test_table5_values(self):
+        p = DEFAULT_PARAMS
+        assert p.num_containers == 25
+        assert p.phv_bytes == 128
+        assert p.key_bytes == 24
+        assert p.key_bits == 193
+        assert p.cam_entry_bits == 205
+        assert p.parser_entry_bits == 160
+        assert p.vliw_entry_bits == 625
+        assert p.max_modules == 32
+        assert p.num_stages == 5
+        assert p.module_id_bits == 12
+
+    def test_with_overrides(self):
+        p = DEFAULT_PARAMS.with_overrides(num_stages=3)
+        assert p.num_stages == 3
+        assert DEFAULT_PARAMS.num_stages == 5
+
+    def test_inventory_has_all_tables(self):
+        inv = DEFAULT_PARAMS.table_inventory()
+        assert set(inv) == {
+            "parser_table", "deparser_table", "key_extractor_table",
+            "key_mask_table", "exact_match_cam", "vliw_action_table",
+            "segment_table", "stateful_memory",
+        }
+        assert inv["exact_match_cam"]["width_bits"] == 205
+        assert inv["vliw_action_table"]["width_bits"] == 625

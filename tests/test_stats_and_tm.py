@@ -1,0 +1,85 @@
+"""Tests for pipeline statistics and traffic-manager telemetry — the
+numbers the system-level module exposes to tenants (§3.3)."""
+
+import pytest
+
+from repro.core import PipelineStats
+from repro.net import PacketBuilder
+from repro.rmt import TrafficManager
+
+
+def pkt(size=100, vid=1):
+    return (PacketBuilder().ethernet().vlan(vid=vid).ipv4().udp()
+            .payload(b"\x00" * (size - 46)).build())
+
+
+class TestPipelineStats:
+    def test_per_module_accounting(self):
+        stats = PipelineStats()
+        stats.record_in(1)
+        stats.record_in(1)
+        stats.record_in(2)
+        stats.record_out(1, 100)
+        stats.record_out(1, 200)
+        stats.record_drop(2, "discard")
+        assert stats.per_module_in == {1: 2, 2: 1}
+        assert stats.per_module_out[1] == 2
+        assert stats.per_module_bytes_out[1] == 300
+        assert stats.per_module_dropped[2] == 1
+        assert stats.drop_reasons["discard"] == 1
+
+    def test_summary(self):
+        stats = PipelineStats()
+        stats.record_in(1)
+        stats.record_out(1, 64)
+        stats.record_reconfig()
+        assert stats.summary() == {
+            "packets_in": 1, "packets_out": 1, "packets_dropped": 0,
+            "reconfig_packets": 1}
+
+    def test_link_utilization(self):
+        stats = PipelineStats()
+        stats.record_out(1, 1250)  # 10000 bits
+        assert stats.link_utilization(1, elapsed_s=1.0, link_bps=1e5) \
+            == pytest.approx(0.1)
+        assert stats.link_utilization(1, elapsed_s=0, link_bps=1e5) == 0.0
+        assert stats.link_utilization(9, 1.0, 1e5) == 0.0
+
+    def test_utilization_guard_rails(self):
+        stats = PipelineStats()
+        stats.record_out(1, 100)
+        assert stats.link_utilization(1, 1.0, 0.0) == 0.0
+
+
+class TestTrafficManagerTelemetry:
+    def test_bytes_out_per_port(self):
+        tm = TrafficManager(num_ports=2)
+        tm.enqueue(pkt(100), 0)
+        tm.enqueue(pkt(200), 0)
+        tm.enqueue(pkt(300), 1)
+        assert tm.bytes_out[0] == 300
+        assert tm.bytes_out[1] == 300
+
+    def test_queue_length_visible(self):
+        # The "queue length" statistic tenants can read (§3.3).
+        tm = TrafficManager(num_ports=1)
+        for _ in range(5):
+            tm.enqueue(pkt(), 0)
+        assert tm.queue_len(0) == 5
+        tm.dequeue(0)
+        assert tm.queue_len(0) == 4
+        assert tm.total_queued() == 4
+
+    def test_enqueue_dequeue_counters(self):
+        tm = TrafficManager(num_ports=1)
+        tm.enqueue(pkt(), 0)
+        tm.enqueue(pkt(), 0)
+        tm.dequeue(0)
+        assert tm.enqueued == 2
+        assert tm.dequeued == 1
+
+    def test_mcast_ports_listing(self):
+        tm = TrafficManager(num_ports=4)
+        tm.set_mcast_group(3, [0, 2])
+        assert tm.mcast_ports(3) == [0, 2]
+        assert tm.mcast_ports(99) == []
