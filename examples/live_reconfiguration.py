@@ -5,72 +5,76 @@ The Fig. 10 story as a narrative demo. Three tenants forward traffic;
 mid-run, tenant 1's program is *replaced* (CALC -> QoS) through the full
 §4.1 procedure — bitmap bit set, configuration rewritten through the
 daisy chain (with an injected packet loss to exercise the counter-based
-retry), bitmap cleared. Tenants 2 and 3 never lose a packet. The same
-scenario on a Tofino-style device would reset the whole pipeline and
-stall everyone for ~50 ms.
+retry), bitmap cleared — and its new rules land in one transaction.
+Tenants 2 and 3 never lose a packet. The same scenario on a
+Tofino-style device would reset the whole pipeline and stall everyone
+for ~50 ms.
 
 Run:  python examples/live_reconfiguration.py
 """
 
-from repro.core import MenshenPipeline
+from repro.api import Switch
 from repro.modules import calc, qos
-from repro.runtime import MenshenController, TofinoModel
+from repro.runtime import TofinoModel
 
 
-def traffic_round(pipeline, stats, tag):
+def traffic_round(switch, stats, tag):
     """One round of all three tenants' traffic; records outcomes."""
     for vid in (1, 2, 3):
         packet = calc.make_packet(vid, calc.OP_ADD, vid * 10, 1)
-        result = pipeline.process(packet)
+        result = switch.process(packet)
         stats.setdefault(vid, []).append(
             (tag, "ok" if result.forwarded else result.drop_reason))
 
 
 def main() -> None:
-    pipeline = MenshenPipeline()
-    controller = MenshenController(pipeline)
+    switch = Switch.build().create()
+    tenants = {}
     for vid in (1, 2, 3):
-        controller.load_module(vid, calc.P4_SOURCE, f"tenant{vid}-calc")
-        calc.install_entries(controller, vid, port=vid)
+        tenants[vid] = switch.admit(f"tenant{vid}-calc", calc.P4_SOURCE,
+                                    vid=vid)
+        calc.install(tenants[vid], port=vid)
 
     stats = {}
     print("phase 1: all three tenants running CALC")
     for _ in range(3):
-        traffic_round(pipeline, stats, "before")
+        traffic_round(switch, stats, "before")
 
     print("phase 2: updating tenant 1 to the QoS program "
           "(with one reconfiguration packet lost on purpose)")
-    pipeline.daisy_chain.drop_next(1)  # exercise detect-and-retry
-    mark = pipeline.parser_table.log_position
+    switch.pipeline.daisy_chain.drop_next(1)  # exercise detect-and-retry
+    mark = switch.pipeline.parser_table.log_position
 
     # While tenant 1 is being updated, its packets drop; others flow.
-    controller.interface.set_module_updating(1)
-    mid = calc.make_packet(1, calc.OP_ADD, 1, 1)
-    result = pipeline.process(mid)
-    print(f"  tenant 1 packet during update: dropped "
-          f"({result.drop_reason})")
-    traffic_round_check = pipeline.process(
-        calc.make_packet(2, calc.OP_ADD, 7, 7))
-    print(f"  tenant 2 packet during update: "
-          f"forwarded={traffic_round_check.forwarded}")
-    controller.interface.clear_module_updating(1)
+    with tenants[1].updating():
+        mid = calc.make_packet(1, calc.OP_ADD, 1, 1)
+        result = switch.process(mid)
+        print(f"  tenant 1 packet during update: dropped "
+              f"({result.drop_reason})")
+        check = switch.process(calc.make_packet(2, calc.OP_ADD, 7, 7))
+        print(f"  tenant 2 packet during update: "
+              f"forwarded={check.forwarded}")
 
-    controller.update_module(1, qos.P4_SOURCE)
-    qos.install_entries(controller, 1)
+    tenants[1].update(qos.P4_SOURCE)
+    # New rules land as one batch under the §4.1 drop window: either
+    # every class installs, or none do.
+    with tenants[1].transaction() as txn:
+        for table, entry in qos.entries():
+            txn.table(table).insert(entry=entry)
 
-    touched = pipeline.parser_table.modules_written_since(mark)
+    touched = switch.pipeline.parser_table.modules_written_since(mark)
     print(f"  overlay rows written during the update: modules {touched} "
           f"(no other tenant's row touched)")
     print(f"  reconfiguration packets lost and retried: "
-          f"{pipeline.daisy_chain.lost}")
+          f"{switch.pipeline.daisy_chain.lost}")
 
     print("phase 3: tenant 1 now runs QoS; tenants 2-3 uninterrupted")
-    voice = pipeline.process(qos.make_packet(1, 5060))
+    voice = switch.process(qos.make_packet(1, 5060))
     print(f"  tenant 1 voice packet DSCP: {qos.read_dscp(voice.packet)} "
           f"(EF={qos.DSCP_EF})")
     for _ in range(3):
         for vid in (2, 3):
-            result = pipeline.process(
+            result = switch.process(
                 calc.make_packet(vid, calc.OP_SUB, 9, 4))
             assert result.forwarded
     print("  tenants 2-3: all packets forwarded, results intact")

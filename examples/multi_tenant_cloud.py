@@ -9,75 +9,67 @@ one pipeline:
 * tenant 2 — NetCache, an in-network key-value cache,
 * tenant 3 — NetChain, an in-network sequencer.
 
-The demo shows behavior isolation (each tenant sees only its own rules
-and state), resource isolation (disjoint CAM partitions and stateful
-segments), and the system module translating virtual IPs and counting
-per-tenant packets.
+The demo shows behavior isolation (each tenant handle sees only its own
+rules and state — crossing the boundary raises), resource isolation
+(disjoint CAM partitions and stateful segments), and the system module
+translating virtual IPs and counting per-tenant packets.
 
 Run:  python examples/multi_tenant_cloud.py
 """
 
-from repro.core import MenshenPipeline
+from repro.api import Switch, TenantIsolationError
 from repro.modules import firewall, netcache, netchain
 from repro.modules.base import common_packet
 from repro.net import parse_layers
-from repro.runtime import MenshenController
-from repro.sysmod import install_system_entries, setup_system_module
 
 
 def main() -> None:
-    pipeline = MenshenPipeline()
-    controller = MenshenController(pipeline)
+    switch = Switch.build().create()
 
     # --- provider: system-level module in the first and last stages ----
-    setup_system_module(controller, routes={"10.0.0.2": 1, "10.0.0.3": 2})
-    install_system_entries(
-        controller,
+    system = switch.install_system(
         vip_map={"10.99.0.5": "10.0.0.2"},   # tenant-visible virtual IP
-        routes={},
+        routes={"10.0.0.2": 1, "10.0.0.3": 2},
         counter_index={"10.99.0.5": 2})
     print("system module loaded (stages "
-          f"{sorted(pipeline.system_stages)}); tenants get stages "
-          f"{controller.compile_target().stage_map}")
+          f"{sorted(switch.pipeline.system_stages)}); tenants get stages "
+          f"{switch.controller.compile_target().stage_map}")
 
     # --- tenants --------------------------------------------------------------
-    controller.load_module(1, firewall.P4_SOURCE, "tenant1-firewall")
-    firewall.install_entries(controller, 1,
-                             blocked=[("10.0.0.66", 53)],
-                             allowed=[("10.0.0.1", 80, 2)])
+    fw = switch.admit("tenant1-firewall", firewall.P4_SOURCE, vid=1)
+    firewall.install(fw, blocked=[("10.0.0.66", 53)],
+                     allowed=[("10.0.0.1", 80, 2)])
 
-    controller.load_module(2, netcache.P4_SOURCE, "tenant2-netcache")
-    netcache.install_entries(controller, 2,
-                             cached=[(0xFEED, 0, 12345)])
+    nc = switch.admit("tenant2-netcache", netcache.P4_SOURCE, vid=2)
+    netcache.install(nc, cached=[(0xFEED, 0, 12345)])
 
-    controller.load_module(3, netchain.P4_SOURCE, "tenant3-netchain")
-    netchain.install_entries(controller, 3, port=1)
+    chain = switch.admit("tenant3-netchain", netchain.P4_SOURCE, vid=3)
+    netchain.install(chain, port=1)
 
-    for vid, loaded in sorted(controller.modules.items()):
-        stages = loaded.compiled.stages_used()
-        parts = {s: (a.match_start, a.match_end)
-                 for s, a in loaded.allocation.stages.items()
-                 if a.match_count}
-        print(f"  tenant {vid} ({loaded.name}): stages {stages}, "
-              f"CAM rows {parts}")
+    for tenant in switch.tenants():
+        stats = tenant.stats()
+        parts = {s: p["cam_rows"] for s, p in stats["partitions"].items()
+                 if p["cam_rows"][1] > p["cam_rows"][0]}
+        print(f"  tenant {tenant.vid} ({tenant.name}): stages "
+              f"{stats['stages']}, CAM rows {parts}")
 
     # --- traffic ----------------------------------------------------------------
     print("\n-- tenant 1: firewall --")
-    blocked = pipeline.process(firewall.make_packet(1, "10.0.0.66", 53))
-    allowed = pipeline.process(firewall.make_packet(1, "10.0.0.1", 80))
+    blocked = switch.process(firewall.make_packet(1, "10.0.0.66", 53))
+    allowed = switch.process(firewall.make_packet(1, "10.0.0.1", 80))
     print(f"  attack from 10.0.0.66:53 dropped: {blocked.dropped}")
     print(f"  legit 10.0.0.1:80 forwarded to port {allowed.egress_port}")
 
     print("-- tenant 2: netcache --")
-    hit = pipeline.process(netcache.make_get(2, 0xFEED))
-    miss = pipeline.process(netcache.make_get(2, 0xDEAD))
+    hit = switch.process(netcache.make_get(2, 0xFEED))
+    miss = switch.process(netcache.make_get(2, 0xDEAD))
     print(f"  GET 0xFEED -> {netcache.read_value(hit.packet)} "
           f"(stat {netcache.read_stat(hit.packet)})")
     print(f"  GET 0xDEAD -> miss, value {netcache.read_value(miss.packet)}")
 
     print("-- tenant 3: netchain sequencer --")
     seqs = [netchain.read_seq(
-        pipeline.process(netchain.make_packet(3)).packet)
+        switch.process(netchain.make_packet(3)).packet)
         for _ in range(3)]
     print(f"  sequence numbers: {seqs}")
 
@@ -85,29 +77,38 @@ def main() -> None:
     print("-- system module services --")
     vip_packet = common_packet(3, netchain.OP_SEQ.to_bytes(2, "big")
                                + bytes(8), dst="10.99.0.5")
-    result = pipeline.process(vip_packet)
+    result = switch.process(vip_packet)
     rewritten = str(parse_layers(result.packet)["ipv4"].dst)
     print(f"  tenant 3 packet to virtual IP 10.99.0.5 "
           f"rewritten to {rewritten}, routed to port {result.egress_port}")
     print(f"  provider counter for that vIP: "
-          f"{controller.register_read(0, 'tenant_counters', 2)} packets")
+          f"{system.register('tenant_counters').read(2)} packets")
 
     # --- isolation proof points --------------------------------------------------
     print("\n-- isolation proof points --")
+    # Behavior isolation is an API property: tenant 1's handle cannot
+    # even name tenant 2's table.
+    try:
+        fw.table("cache")
+    except TenantIsolationError as exc:
+        print(f"  fw.table('cache') -> TenantIsolationError: {exc}")
     # Tenant 2's packets are processed only by tenant 2's rules: a GET
     # from the address tenant 1 blocks still flows (no cross-tenant
     # match — tenant 1's block rule is invisible to tenant 2).
     probe = netcache.make_get(2, 0xFEED)
     probe.write_bytes(30, bytes([10, 0, 0, 66]))  # src = tenant 1's blocked IP
-    result = pipeline.process(probe)
+    result = switch.process(probe)
     print(f"  tenant 2 packet from tenant 1's blocked address: "
           f"forwarded={result.forwarded} (tenant 1's ACL is invisible)")
     # Stateful memory is physically partitioned:
-    seq_stage = controller.modules[3].compiled.registers["sequencer"].stage
-    seq_alloc = controller.modules[3].allocation.stage(seq_stage)
+    chain_stats = chain.stats()
+    seq_stage, words = next(
+        (s, p["stateful_words"])
+        for s, p in chain_stats["partitions"].items()
+        if p["stateful_words"][1] > p["stateful_words"][0])
     print(f"  tenant 3's sequencer lives at physical words "
-          f"[{seq_alloc.stateful_base}, {seq_alloc.stateful_end}) of "
-          f"stage {seq_stage}; tenant 2's segment cannot reach it")
+          f"[{words[0]}, {words[1]}) of stage {seq_stage}; tenant 2's "
+          f"segment cannot reach it")
 
 
 if __name__ == "__main__":

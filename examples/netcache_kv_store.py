@@ -15,9 +15,8 @@ Run:  python examples/netcache_kv_store.py
 import random
 from collections import Counter
 
-from repro.core import MenshenPipeline
+from repro.api import Switch
 from repro.modules import netcache
-from repro.runtime import MenshenController
 
 
 def zipf_like_keys(n_keys: int, n_requests: int, skew: float = 1.2,
@@ -32,17 +31,16 @@ def zipf_like_keys(n_keys: int, n_requests: int, skew: float = 1.2,
 
 
 def main() -> None:
-    pipeline = MenshenPipeline()
-    controller = MenshenController(pipeline)
-    controller.load_module(6, netcache.P4_SOURCE, "netcache")
+    switch = Switch.build().create()
+    tenant = switch.admit("netcache", netcache.P4_SOURCE, vid=6)
 
     # Backing store: every key has a value; the switch caches the top 4
     # (the prototype's cache table holds 4 entries).
     store = {key: key * 11 for key in range(0x1000, 0x1040)}
     workload = zipf_like_keys(n_keys=64, n_requests=500)
     hot_keys = [key for key, _count in Counter(workload).most_common(4)]
-    netcache.install_entries(
-        controller, 6,
+    netcache.install(
+        tenant,
         cached=[(key, slot, store[key]) for slot, key in
                 enumerate(hot_keys)])
     print(f"cached hot keys: {[hex(k) for k in hot_keys]}")
@@ -50,7 +48,7 @@ def main() -> None:
     hits = misses = 0
     server_load = Counter()
     for key in workload:
-        result = pipeline.process(netcache.make_get(6, key))
+        result = switch.process(netcache.make_get(6, key))
         value = netcache.read_value(result.packet)
         if value != 0:
             assert value == store[key], "cache returned a wrong value!"
@@ -64,15 +62,15 @@ def main() -> None:
     print(f"requests: {total}, cache hits: {hits} "
           f"({hits / total:.0%}), server requests: {misses}")
     print(f"switch-side op counter: "
-          f"{controller.register_read(6, 'op_stats', 0)}")
+          f"{tenant.register('op_stats').read(0)}")
     print(f"hottest residual server keys: "
           f"{[hex(k) for k, _ in server_load.most_common(3)]}")
 
     # Control-plane value update (e.g. the store wrote a new version):
     # no reload, no disruption — just a register write.
     new_value = 999_999
-    controller.register_write(6, "values", 0, new_value)
-    result = pipeline.process(netcache.make_get(6, hot_keys[0]))
+    tenant.register("values").write(0, new_value)
+    result = switch.process(netcache.make_get(6, hot_keys[0]))
     print(f"after control-plane update, GET {hex(hot_keys[0])} -> "
           f"{netcache.read_value(result.packet)}")
 

@@ -12,20 +12,18 @@ isolation), and (c) control-plane reset of the sequencer.
 Run:  python examples/netchain_sequencer.py
 """
 
-from repro.core import MenshenPipeline
+from repro.api import Switch
 from repro.modules import netchain
-from repro.runtime import MenshenController
 
 
 def main() -> None:
-    pipeline = MenshenPipeline()
-    controller = MenshenController(pipeline)
+    switch = Switch.build().create()
 
     # Two tenants, each running their own NetChain sequencer.
-    controller.load_module(1, netchain.P4_SOURCE, "tenantA-chain")
-    netchain.install_entries(controller, 1, port=1)
-    controller.load_module(2, netchain.P4_SOURCE, "tenantB-chain")
-    netchain.install_entries(controller, 2, port=2)
+    tenant_a = switch.admit("tenantA-chain", netchain.P4_SOURCE, vid=1)
+    netchain.install(tenant_a, port=1)
+    tenant_b = switch.admit("tenantB-chain", netchain.P4_SOURCE, vid=2)
+    netchain.install(tenant_b, port=2)
 
     # Interleaved clients of tenant A race for sequence numbers.
     print("tenant A: three clients racing (interleaved packets)")
@@ -33,7 +31,7 @@ def main() -> None:
     order = ["client1", "client2", "client1", "client3", "client2",
              "client3", "client1", "client2", "client3"]
     for client in order:
-        result = pipeline.process(netchain.make_packet(1))
+        result = switch.process(netchain.make_packet(1))
         assignments[client].append(netchain.read_seq(result.packet))
     for client, seqs in assignments.items():
         print(f"  {client}: {seqs}")
@@ -43,25 +41,25 @@ def main() -> None:
     print(f"  global order is gapless: 1..{len(order)}")
 
     # Tenant B's sequencer is unaffected by tenant A's traffic.
-    result = pipeline.process(netchain.make_packet(2))
+    result = switch.process(netchain.make_packet(2))
     seq_b = netchain.read_seq(result.packet)
     print(f"tenant B's first sequence number: {seq_b} "
           f"(independent of tenant A's {len(order)} requests)")
     assert seq_b == 1
 
     # The two sequencers live in disjoint physical stateful memory.
-    for vid, name in [(1, "A"), (2, "B")]:
-        loaded = controller.modules[vid]
-        stage = loaded.compiled.registers["sequencer"].stage
-        alloc = loaded.allocation.stage(stage)
-        value = controller.register_read(vid, "sequencer")
-        print(f"  tenant {name} sequencer: stage {stage} words "
-              f"[{alloc.stateful_base}, {alloc.stateful_end}), "
-              f"value {value}")
+    for tenant, label in [(tenant_a, "A"), (tenant_b, "B")]:
+        stage, words = next(
+            (s, p["stateful_words"])
+            for s, p in tenant.stats()["partitions"].items()
+            if p["stateful_words"][1] > p["stateful_words"][0])
+        value = tenant.register("sequencer").read()
+        print(f"  tenant {label} sequencer: stage {stage} words "
+              f"[{words[0]}, {words[1]}), value {value}")
 
     # Control-plane epoch reset (e.g. after failover).
-    controller.register_write(1, "sequencer", 0, 0)
-    result = pipeline.process(netchain.make_packet(1))
+    tenant_a.register("sequencer").write(0, 0)
+    result = switch.process(netchain.make_packet(1))
     print(f"after epoch reset, tenant A restarts at "
           f"{netchain.read_seq(result.packet)}")
 

@@ -1,45 +1,46 @@
 #!/usr/bin/env python3
-"""Quickstart: load one P4 module onto a Menshen pipeline and push packets.
+"""Quickstart: load one P4 module onto a Menshen switch and push packets.
 
-This is the 5-minute tour: build a pipeline, compile and load the CALC
-module (the P4-tutorial calculator), install match-action entries, and
-watch packets come back with results — all through the same
-reconfiguration-packet path the hardware uses.
+This is the 5-minute tour of the ``repro.api`` facade: build a switch,
+admit the CALC module (the P4-tutorial calculator) as a tenant, install
+match-action entries through the tenant handle, and watch packets come
+back with results — all through the same reconfiguration-packet path
+the hardware uses.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import MenshenPipeline
+from repro.api import Switch
 from repro.modules import calc
-from repro.runtime import MenshenController
 
 
 def main() -> None:
-    # 1. A Menshen pipeline: RMT + isolation primitives (5 stages,
-    #    32-module overlays, segment tables, packet filter, daisy chain).
-    pipeline = MenshenPipeline()
-    controller = MenshenController(pipeline)
+    # 1. A Menshen switch: RMT + isolation primitives (5 stages,
+    #    32-module overlays, segment tables, packet filter, daisy chain),
+    #    wrapped in the unified tenant-session API.
+    switch = Switch.build().stages(5).create()
 
-    # 2. Compile and load the CALC module as tenant VID 7. Under the
+    # 2. Compile and admit the CALC module as tenant VID 7. Under the
     #    hood this runs the P4-16 compiler, partitions CAM/stateful
     #    memory, and streams every configuration row through the daisy
     #    chain with the bitmap/counter protocol of §4.1.
-    controller.load_module(7, calc.P4_SOURCE, "calc")
-    print("loaded module 'calc' as VID 7")
-    print("  stages used:",
-          controller.modules[7].compiled.stages_used())
+    tenant = switch.admit("calc", calc.P4_SOURCE, vid=7)
+    print(f"admitted tenant {tenant.name!r} as VID {tenant.vid}")
+    print("  stages used:", tenant.stats()["stages"])
     print("  reconfiguration packets sent:",
-          controller.interface.stats.packets_sent)
+          switch.interface.stats.packets_sent)
 
-    # 3. Install match-action entries (P4Runtime-style).
-    calc.install_entries(controller, 7, port=2)
-    print("installed ADD/SUB/ECHO entries")
+    # 3. Install match-action entries through the tenant handle
+    #    (typed entries; the handle can only ever touch this VID).
+    calc.install(tenant, port=2)
+    print("installed ADD/SUB/ECHO entries "
+          f"({tenant.table('calc_table').occupancy()} rows)")
 
     # 4. Send calculator packets: op | operand_a | operand_b | result.
     for op, a, b in [(calc.OP_ADD, 100, 23), (calc.OP_SUB, 50, 8),
                      (calc.OP_ECHO, 42, 0)]:
         packet = calc.make_packet(7, op, a, b)
-        result = pipeline.process(packet)
+        result = switch.process(packet)
         name = {calc.OP_ADD: "ADD", calc.OP_SUB: "SUB",
                 calc.OP_ECHO: "ECHO"}[op]
         print(f"  {name}({a}, {b}) -> {calc.read_result(result.packet)} "
@@ -47,11 +48,12 @@ def main() -> None:
 
     # 5. Packets from unknown tenants are dropped by the packet filter.
     stranger = calc.make_packet(9, calc.OP_ADD, 1, 1)
-    result = pipeline.process(stranger)
+    result = switch.process(stranger)
     print(f"unknown VID 9 packet: dropped={result.dropped} "
           f"({result.drop_reason})")
 
-    print("\npipeline stats:", pipeline.stats.summary())
+    print("\ntenant counters:", tenant.counters())
+    print("switch stats:", switch.stats())
 
 
 if __name__ == "__main__":

@@ -1,41 +1,37 @@
 #!/usr/bin/env python3
 """Ternary (prefix) firewall + pcap export: the Appendix-B extension.
 
-Runs the pipeline in ternary match mode (the Xilinx CAM IP's other
+Runs the switch in ternary match mode (the Xilinx CAM IP's other
 personality), installs a prefix-based default-allow ACL with
-address-ordered priorities, pushes a traffic mix through, and exports
-the forwarded packets to a standard pcap file you can open in wireshark.
+address-ordered priorities using typed ``Ternary`` match specs, pushes
+a traffic mix through, and exports the forwarded packets to a standard
+pcap file you can open in wireshark.
 
 Run:  python examples/ternary_firewall_pcap.py
 """
 
 import tempfile
 
-from repro.core import MenshenPipeline
+from repro.api import Match, Switch, Ternary
 from repro.modules import firewall
-from repro.runtime import MenshenController
+from repro.net import Ipv4Address, parse_layers
 from repro.traffic import load_pcap, save_pcap
 
 
 def main() -> None:
-    pipeline = MenshenPipeline(match_mode="ternary")
-    controller = MenshenController(pipeline)
-    controller.load_module(2, firewall.P4_SOURCE_TERNARY, "prefix-fw")
+    switch = Switch.build().ternary().create()
+    tenant = switch.admit("prefix-fw", firewall.P4_SOURCE_TERNARY, vid=2)
 
     # Priority order (lower address wins, Appendix B):
     #   1. allow the bastion host 10.66.0.10 exactly,
     #   2. block the whole 10.66.0.0/16,
     #   3. allow everything else (match-all).
-    from repro.net import Ipv4Address
-    controller.table_add(
-        2, "acl",
-        {"hdr.ipv4.srcAddr": int(Ipv4Address("10.66.0.10")),
-         "hdr.udp.dstPort": 0},
-        "allow", {"port": 5},
-        key_masks={"hdr.udp.dstPort": 0})
-    firewall.install_prefix_entries(
-        controller, 2, blocked_prefixes=[("10.66.0.0", 16)],
-        default_port=1)
+    tenant.table("acl").insert(
+        match=Match({"hdr.ipv4.srcAddr": int(Ipv4Address("10.66.0.10")),
+                     "hdr.udp.dstPort": Ternary(0, 0)}),
+        action="allow", params={"port": 5})
+    firewall.install_prefix(tenant, blocked_prefixes=[("10.66.0.0", 16)],
+                            default_port=1)
 
     flows = [
         ("10.66.0.10", "bastion host (exempt)"),
@@ -47,7 +43,7 @@ def main() -> None:
     forwarded = []
     print("prefix ACL verdicts:")
     for src, label in flows:
-        result = pipeline.process(firewall.make_packet(2, src, 443))
+        result = switch.process(firewall.make_packet(2, src, 443))
         verdict = ("DROP" if result.dropped
                    else f"port {result.egress_port}")
         print(f"  {src:14s} ({label:22s}) -> {verdict}")
@@ -58,7 +54,6 @@ def main() -> None:
         path = f.name
     save_pcap(path, forwarded)
     print(f"\nexported {len(forwarded)} forwarded packets to {path}")
-    from repro.net import parse_layers
     restored = load_pcap(path)
     first_src = parse_layers(restored[0])["ipv4"].src
     print(f"read back {len(restored)} packets; first source: {first_src}")

@@ -8,7 +8,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Menshen reproduction: isolation mechanisms for high-speed "
         "packet-processing (RMT) pipelines (NSDI 2022)"

@@ -1,7 +1,11 @@
 """Menshen reproduction: isolation mechanisms for RMT pipelines (NSDI'22).
 
-Top-level convenience exports; see the subpackages for the full API:
+The canonical entry point is :mod:`repro.api` — the unified
+tenant-session facade (``Switch`` / ``Tenant`` / typed table entries /
+``compile`` with structured diagnostics) — re-exported here. The layered
+subpackages stay available for code that needs the internals:
 
+* :mod:`repro.api` — the tenant-session facade (start here)
 * :mod:`repro.core` — the Menshen pipeline and isolation primitives
 * :mod:`repro.rmt` — the baseline RMT substrate
 * :mod:`repro.compiler` — the P4-16-subset compiler
@@ -15,10 +19,34 @@ from .core import MenshenPipeline
 from .runtime import MenshenController
 from .compiler import compile_module
 from .rmt.params import HardwareParams, DEFAULT_PARAMS
+from .api import (
+    ActionCall,
+    CompileResult,
+    Diagnostic,
+    Exact,
+    Match,
+    Switch,
+    TableEntry,
+    Tenant,
+    Ternary,
+    compile,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # facade (canonical)
+    "Switch",
+    "Tenant",
+    "compile",
+    "CompileResult",
+    "Diagnostic",
+    "Exact",
+    "Ternary",
+    "Match",
+    "ActionCall",
+    "TableEntry",
+    # layered entry points
     "MenshenPipeline",
     "MenshenController",
     "compile_module",

@@ -1,0 +1,69 @@
+"""``repro.api`` — the unified tenant-session API.
+
+The canonical way to drive the reproduction. One import gives the whole
+control surface, P4Runtime-style:
+
+.. code-block:: python
+
+    from repro.api import Switch
+
+    switch = Switch.build().stages(5).create()
+    fw = switch.admit("fw", firewall.P4_SOURCE, vid=1)
+    fw.table("acl").insert(match={"hdr.udp.dstPort": 53}, action="block")
+    with fw.transaction() as txn:
+        txn.table("acl").insert(match={...}, action="allow",
+                                params={"port": 2})
+    result = switch.process(packet)
+
+Everything a tenant can do hangs off its :class:`Tenant` handle, so
+behavior isolation is enforced at the API boundary
+(:class:`~repro.errors.TenantIsolationError`), not by convention. The
+layered modules (:mod:`repro.core`, :mod:`repro.runtime`,
+:mod:`repro.compiler`) stay importable for tests and benchmarks that
+need the internals.
+"""
+
+from ..errors import (
+    CompilationFailed,
+    TenantIsolationError,
+    TransactionError,
+)
+from ..rmt.entry_types import ActionCall, Exact, Match, TableEntry, Ternary
+from .diagnostics import CompileResult, Diagnostic, StageUsage, compile
+from .switch import (
+    PendingEntry,
+    RegisterHandle,
+    Switch,
+    SwitchBuilder,
+    TableHandle,
+    Tenant,
+    TenantCounters,
+    Transaction,
+)
+
+__all__ = [
+    # entry vocabulary
+    "Exact",
+    "Ternary",
+    "Match",
+    "ActionCall",
+    "TableEntry",
+    # compile surface
+    "compile",
+    "CompileResult",
+    "Diagnostic",
+    "StageUsage",
+    "CompilationFailed",
+    # session surface
+    "Switch",
+    "SwitchBuilder",
+    "Tenant",
+    "TenantCounters",
+    "TableHandle",
+    "RegisterHandle",
+    "Transaction",
+    "PendingEntry",
+    # errors
+    "TenantIsolationError",
+    "TransactionError",
+]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from .allocator import allocate
 from .backend import CompiledModule, emit
@@ -16,18 +17,24 @@ from .typecheck import typecheck
 
 @dataclass
 class CompilerOptions:
-    """Knobs for a compilation run."""
+    """Knobs for a compilation run.
 
-    target: TargetDescription = None
+    ``target=None`` means "compile for the default whole-pipeline
+    target"; the field is left as given (no ``__post_init__`` mutation),
+    and consumers resolve it through :meth:`resolved_target`.
+    """
+
+    target: Optional[TargetDescription] = None
     run_static_checks: bool = True
 
-    def __post_init__(self) -> None:
-        if self.target is None:
-            self.target = DEFAULT_TARGET
+    def resolved_target(self) -> TargetDescription:
+        """The target to compile against (default when unset)."""
+        return self.target if self.target is not None else DEFAULT_TARGET
 
 
 def compile_module(source: str, name: str = "<module>",
-                   options: CompilerOptions = None) -> CompiledModule:
+                   options: Optional[CompilerOptions] = None
+                   ) -> CompiledModule:
     """Compile one P4-16 module for the Menshen pipeline.
 
     Pipeline: lex/parse -> typecheck -> static checks (§3.4) -> lower to
@@ -36,13 +43,14 @@ def compile_module(source: str, name: str = "<module>",
     """
     if options is None:
         options = CompilerOptions()
+    target = options.resolved_target()
     program = parse_source(source, name)
     env = typecheck(program)
     if options.run_static_checks:
         check_module(env)
     ir = lower(env)
     ir.name = name
-    alloc = allocate(ir, options.target)
-    module = emit(ir, options.target, alloc)
-    check_against_hardware(module, options.target.params)
+    alloc = allocate(ir, target)
+    module = emit(ir, target, alloc)
+    check_against_hardware(module, target.params)
     return module

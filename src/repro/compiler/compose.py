@@ -15,7 +15,7 @@ can load under a single VID.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import AllocationError, CompilerError
 from .allocator import allocate
@@ -25,12 +25,13 @@ from .ir import lower
 from .parser import parse_source
 from .static_checker import check_module
 from .resource_checker import check_against_hardware
-from .target import DEFAULT_TARGET, TargetDescription
+from .target import TargetDescription
 from .typecheck import typecheck
 
 
 def compile_module_group(sources: List[Tuple[str, str]],
-                         options: CompilerOptions = None) -> CompiledModule:
+                         options: Optional[CompilerOptions] = None
+                         ) -> CompiledModule:
     """Compile several P4 modules as one tenant.
 
     ``sources`` is a list of ``(name, p4_source)`` pairs in apply order:
@@ -42,7 +43,7 @@ def compile_module_group(sources: List[Tuple[str, str]],
         options = CompilerOptions()
     if not sources:
         raise CompilerError("module group needs at least one module")
-    base_target = options.target or DEFAULT_TARGET
+    base_target = options.resolved_target()
 
     # Frontend every member first so stage budgeting knows table counts.
     irs = []

@@ -14,6 +14,7 @@ from .packet_filter import PacketFilter, PacketClass
 from .reconfig import (
     ResourceType,
     ResourceId,
+    ConfigWrite,
     ReconfigPayload,
     build_reconfig_packet,
     parse_reconfig_packet,
@@ -32,6 +33,7 @@ __all__ = [
     "PacketClass",
     "ResourceType",
     "ResourceId",
+    "ConfigWrite",
     "ReconfigPayload",
     "build_reconfig_packet",
     "parse_reconfig_packet",

@@ -71,6 +71,23 @@ def entry_payload_bytes(rtype: ResourceType,
 
 
 @dataclass(frozen=True)
+class ConfigWrite:
+    """One configuration write: a row value bound to a resource + index.
+
+    The typed form of what used to travel as ``(resource, index, entry)``
+    tuples between the controller and the interface; iterable so that
+    existing tuple-unpacking call sites keep working.
+    """
+
+    resource: "ResourceId"
+    index: int
+    entry: int
+
+    def __iter__(self):
+        return iter((self.resource, self.index, self.entry))
+
+
+@dataclass(frozen=True)
 class ResourceId:
     """Decoded 12-bit resource ID: resource type + stage number."""
 

@@ -63,6 +63,16 @@ class ReconfigurationError(DataPlaneError):
     """The reconfiguration protocol was violated or a packet was rejected."""
 
 
+class TenantIsolationError(IsolationViolationError):
+    """A tenant-scoped API operation tried to cross a VID boundary.
+
+    Raised by the :mod:`repro.api` facade when, e.g., a tenant handle
+    names a table owned by a different tenant. The lower layers would
+    also refuse the eventual write (the partition ledger / segment
+    table), but the facade rejects it at the object-capability boundary
+    so the caller learns *whose* resource it touched."""
+
+
 # ---------------------------------------------------------------------------
 # Compiler
 # ---------------------------------------------------------------------------
@@ -104,6 +114,17 @@ class AllocationError(CompilerError):
     PHV containers under the hardware constraints."""
 
 
+class CompilationFailed(CompilerError):
+    """A :class:`repro.api.CompileResult` with errors was unwrapped.
+
+    Carries the structured diagnostics so callers that do want an
+    exception still get the full findings, not just the first one."""
+
+    def __init__(self, message: str, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        super().__init__(message)
+
+
 # ---------------------------------------------------------------------------
 # Runtime / policy
 # ---------------------------------------------------------------------------
@@ -111,6 +132,14 @@ class AllocationError(CompilerError):
 class RuntimeInterfaceError(ReproError):
     """Software-to-hardware interface misuse (unknown module/table, bad
     entry, interface in the wrong protocol state)."""
+
+
+class TransactionError(RuntimeInterfaceError):
+    """A transactional reconfiguration batch failed.
+
+    Every operation that had already been applied was rolled back
+    through the same daisy-chain protocol before this was raised; the
+    original failure is chained as ``__cause__``."""
 
 
 class AdmissionError(ReproError):

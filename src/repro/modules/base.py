@@ -10,10 +10,15 @@ containers.
 
 from __future__ import annotations
 
-from typing import Dict
+import warnings
+from typing import Dict, Iterable, List, Tuple
 
 from ..net import PacketBuilder
 from ..net.packet import Packet
+from ..rmt.entry_types import TableEntry
+
+#: Typed rule set: ``(table name, entry)`` pairs in priority order.
+EntryList = List[Tuple[str, TableEntry]]
 
 #: Byte offset of module-specific headers (after the common header).
 MODULE_HEADER_OFFSET = 46
@@ -78,3 +83,23 @@ def ip_halves(ip: str) -> Dict[str, int]:
     from ..net import Ipv4Address
     value = int(Ipv4Address(ip))
     return {"hi": value >> 16, "lo": value & 0xFFFF}
+
+
+def apply_entries(tenant, entries: Iterable[Tuple[str, TableEntry]]) -> None:
+    """Install typed ``(table, entry)`` pairs through a tenant handle."""
+    for table, entry in entries:
+        tenant.table(table).insert(entry)
+
+
+def attach_tenant(controller, module_id: int):
+    """Wrap a bare (controller, module_id) pair in a tenant handle."""
+    from ..api import Tenant
+    return Tenant.attach(controller, module_id)
+
+
+def warn_deprecated_installer(old: str, new: str) -> None:
+    """One DeprecationWarning format for every legacy install helper."""
+    warnings.warn(
+        f"{old}(controller, module_id, ...) is deprecated; admit the "
+        f"module through repro.api.Switch and call {new}(tenant, ...)",
+        DeprecationWarning, stacklevel=3)

@@ -9,7 +9,17 @@ answer to a configured port.
 from __future__ import annotations
 
 from ..net.packet import Packet
-from .base import COMMON_HEADER_DECLS, common_packet, parser_chain, read_module_field
+from ..rmt.entry_types import ActionCall, Match, TableEntry
+from .base import (
+    COMMON_HEADER_DECLS,
+    EntryList,
+    apply_entries,
+    attach_tenant,
+    common_packet,
+    parser_chain,
+    read_module_field,
+    warn_deprecated_installer,
+)
 
 NAME = "calc"
 
@@ -52,14 +62,27 @@ control CalcIngress(inout headers_t hdr) {
 """
 
 
+def entries(port: int = 1) -> EntryList:
+    """The standard opcode entries, as typed rules."""
+    return [
+        ("calc_table", TableEntry(Match({"hdr.calc.op": OP_ADD}),
+                                  ActionCall("op_add", {"port": port}))),
+        ("calc_table", TableEntry(Match({"hdr.calc.op": OP_SUB}),
+                                  ActionCall("op_sub", {"port": port}))),
+        ("calc_table", TableEntry(Match({"hdr.calc.op": OP_ECHO}),
+                                  ActionCall("op_echo"))),
+    ]
+
+
+def install(tenant, port: int = 1) -> None:
+    """Install the standard opcode entries through a tenant handle."""
+    apply_entries(tenant, entries(port))
+
+
 def install_entries(controller, module_id: int, port: int = 1) -> None:
-    """Install the standard opcode entries."""
-    controller.table_add(module_id, "calc_table",
-                         {"hdr.calc.op": OP_ADD}, "op_add", {"port": port})
-    controller.table_add(module_id, "calc_table",
-                         {"hdr.calc.op": OP_SUB}, "op_sub", {"port": port})
-    controller.table_add(module_id, "calc_table",
-                         {"hdr.calc.op": OP_ECHO}, "op_echo")
+    """Deprecated: use :func:`install` with a :class:`repro.api.Tenant`."""
+    warn_deprecated_installer("calc.install_entries", "calc.install")
+    install(attach_tenant(controller, module_id), port)
 
 
 def make_packet(vid: int, op: int, a: int, b: int, pad_to: int = 0) -> Packet:

@@ -11,7 +11,16 @@ from typing import Iterable, Tuple
 
 from ..net import Ipv4Address
 from ..net.packet import Packet
-from .base import COMMON_HEADER_DECLS, common_packet, parser_chain
+from ..rmt.entry_types import ActionCall, Match, TableEntry, Ternary
+from .base import (
+    COMMON_HEADER_DECLS,
+    EntryList,
+    apply_entries,
+    attach_tenant,
+    common_packet,
+    parser_chain,
+    warn_deprecated_installer,
+)
 
 NAME = "firewall"
 
@@ -47,44 +56,72 @@ def prefix_mask(prefix_len: int) -> int:
     return ((1 << prefix_len) - 1) << (32 - prefix_len) if prefix_len else 0
 
 
+def entries(blocked: Iterable[Tuple[str, int]] = (),
+            allowed: Iterable[Tuple[str, int, int]] = ()) -> EntryList:
+    """Exact ACL rules: block (src, dport), allow (src, dport, out)."""
+    rules: EntryList = []
+    for src, dport in blocked:
+        rules.append(("acl", TableEntry(
+            Match({"hdr.ipv4.srcAddr": int(Ipv4Address(src)),
+                   "hdr.udp.dstPort": dport}),
+            ActionCall("block"))))
+    for src, dport, port in allowed:
+        rules.append(("acl", TableEntry(
+            Match({"hdr.ipv4.srcAddr": int(Ipv4Address(src)),
+                   "hdr.udp.dstPort": dport}),
+            ActionCall("allow", {"port": port}))))
+    return rules
+
+
+def prefix_entries(blocked_prefixes: Iterable[Tuple[str, int]] = (),
+                   default_port: int = 1) -> EntryList:
+    """Ternary ACL rules: block (subnet, prefix_len) pairs, allow the rest.
+
+    Priority is positional (earlier = higher priority): the specific
+    block rules first, then a match-all allow.
+    """
+    rules: EntryList = []
+    for subnet, plen in blocked_prefixes:
+        rules.append(("acl", TableEntry(
+            Match({"hdr.ipv4.srcAddr": Ternary(int(Ipv4Address(subnet)),
+                                               prefix_mask(plen)),
+                   "hdr.udp.dstPort": Ternary(0, 0)}),
+            ActionCall("block"))))
+    rules.append(("acl", TableEntry(
+        Match({"hdr.ipv4.srcAddr": Ternary(0, 0),
+               "hdr.udp.dstPort": Ternary(0, 0)}),
+        ActionCall("allow", {"port": default_port}))))
+    return rules
+
+
+def install(tenant, blocked: Iterable[Tuple[str, int]] = (),
+            allowed: Iterable[Tuple[str, int, int]] = ()) -> None:
+    """Install exact-match ACL rules through a tenant handle."""
+    apply_entries(tenant, entries(blocked, allowed))
+
+
+def install_prefix(tenant, blocked_prefixes: Iterable[Tuple[str, int]] = (),
+                   default_port: int = 1) -> None:
+    """Install the ternary (Appendix B) ACL through a tenant handle."""
+    apply_entries(tenant, prefix_entries(blocked_prefixes, default_port))
+
+
 def install_prefix_entries(controller, module_id: int,
                            blocked_prefixes: Iterable[Tuple[str, int]] = (),
                            default_port: int = 1) -> None:
-    """Ternary ACL: block (subnet, prefix_len) pairs, allow the rest.
-
-    Entries install in priority order (earlier = higher priority): the
-    specific block rules first, then a match-all allow.
-    """
-    from ..net import Ipv4Address
-    for subnet, plen in blocked_prefixes:
-        controller.table_add(
-            module_id, "acl",
-            {"hdr.ipv4.srcAddr": int(Ipv4Address(subnet)),
-             "hdr.udp.dstPort": 0},
-            "block",
-            key_masks={"hdr.ipv4.srcAddr": prefix_mask(plen),
-                       "hdr.udp.dstPort": 0})
-    controller.table_add(
-        module_id, "acl",
-        {"hdr.ipv4.srcAddr": 0, "hdr.udp.dstPort": 0},
-        "allow", {"port": default_port},
-        key_masks={"hdr.ipv4.srcAddr": 0, "hdr.udp.dstPort": 0})
+    """Deprecated: use :func:`install_prefix` with a tenant handle."""
+    warn_deprecated_installer("firewall.install_prefix_entries",
+                              "firewall.install_prefix")
+    install_prefix(attach_tenant(controller, module_id), blocked_prefixes,
+                   default_port)
 
 
 def install_entries(controller, module_id: int,
                     blocked: Iterable[Tuple[str, int]] = (),
                     allowed: Iterable[Tuple[str, int, int]] = ()) -> None:
-    """Install block rules (src, dport) and allow rules (src, dport, out)."""
-    for src, dport in blocked:
-        controller.table_add(module_id, "acl",
-                             {"hdr.ipv4.srcAddr": int(Ipv4Address(src)),
-                              "hdr.udp.dstPort": dport},
-                             "block")
-    for src, dport, port in allowed:
-        controller.table_add(module_id, "acl",
-                             {"hdr.ipv4.srcAddr": int(Ipv4Address(src)),
-                              "hdr.udp.dstPort": dport},
-                             "allow", {"port": port})
+    """Deprecated: use :func:`install` with a :class:`repro.api.Tenant`."""
+    warn_deprecated_installer("firewall.install_entries", "firewall.install")
+    install(attach_tenant(controller, module_id), blocked, allowed)
 
 
 def make_packet(vid: int, src: str, dport: int, pad_to: int = 0) -> Packet:

@@ -11,7 +11,16 @@ from typing import Iterable, Tuple
 
 from ..net import Ipv4Address
 from ..net.packet import Packet
-from .base import COMMON_HEADER_DECLS, common_packet, parser_chain
+from ..rmt.entry_types import ActionCall, Match, TableEntry
+from .base import (
+    COMMON_HEADER_DECLS,
+    EntryList,
+    apply_entries,
+    attach_tenant,
+    common_packet,
+    parser_chain,
+    warn_deprecated_installer,
+)
 
 NAME = "load_balancer"
 
@@ -36,14 +45,26 @@ control LbIngress(inout headers_t hdr) {
 """
 
 
+def entries(flows: Iterable[Tuple[str, int, int, int]] = ()) -> EntryList:
+    """Flow steering rules: (src ip, sport, backend port, backend dport)."""
+    return [("flow_table", TableEntry(
+        Match({"hdr.ipv4.srcAddr": int(Ipv4Address(src)),
+               "hdr.udp.srcPort": sport}),
+        ActionCall("to_backend", {"port": port, "dport": dport})))
+        for src, sport, port, dport in flows]
+
+
+def install(tenant, flows: Iterable[Tuple[str, int, int, int]] = ()) -> None:
+    """Install flow steering through a tenant handle."""
+    apply_entries(tenant, entries(flows))
+
+
 def install_entries(controller, module_id: int,
                     flows: Iterable[Tuple[str, int, int, int]] = ()) -> None:
-    """Install flow steering: (src ip, sport, backend port, backend dport)."""
-    for src, sport, port, dport in flows:
-        controller.table_add(module_id, "flow_table",
-                             {"hdr.ipv4.srcAddr": int(Ipv4Address(src)),
-                              "hdr.udp.srcPort": sport},
-                             "to_backend", {"port": port, "dport": dport})
+    """Deprecated: use :func:`install` with a :class:`repro.api.Tenant`."""
+    warn_deprecated_installer("load_balancer.install_entries",
+                              "load_balancer.install")
+    install(attach_tenant(controller, module_id), flows)
 
 
 def make_packet(vid: int, src: str, sport: int, pad_to: int = 0) -> Packet:

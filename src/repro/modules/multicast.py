@@ -10,7 +10,17 @@ from __future__ import annotations
 from typing import Iterable, Tuple
 
 from ..net.packet import Packet
-from .base import COMMON_HEADER_DECLS, common_packet, ip_halves, parser_chain
+from ..rmt.entry_types import ActionCall, Match, TableEntry
+from .base import (
+    COMMON_HEADER_DECLS,
+    EntryList,
+    apply_entries,
+    attach_tenant,
+    common_packet,
+    ip_halves,
+    parser_chain,
+    warn_deprecated_installer,
+)
 
 NAME = "multicast"
 
@@ -32,15 +42,29 @@ control McIngress(inout headers_t hdr) {
 """
 
 
-def install_entries(controller, module_id: int,
-                    groups: Iterable[Tuple[str, int]] = ()) -> None:
-    """Install (destination ip -> multicast group) entries."""
+def entries(groups: Iterable[Tuple[str, int]] = ()) -> EntryList:
+    """(destination ip -> multicast group) rules."""
+    rules: EntryList = []
     for dst, grp in groups:
         halves = ip_halves(dst)
-        controller.table_add(module_id, "groups",
-                             {"hdr.ipv4.dstHi": halves["hi"],
-                              "hdr.ipv4.dstLo": halves["lo"]},
-                             "to_group", {"grp": grp})
+        rules.append(("groups", TableEntry(
+            Match({"hdr.ipv4.dstHi": halves["hi"],
+                   "hdr.ipv4.dstLo": halves["lo"]}),
+            ActionCall("to_group", {"grp": grp}))))
+    return rules
+
+
+def install(tenant, groups: Iterable[Tuple[str, int]] = ()) -> None:
+    """Install multicast groups through a tenant handle."""
+    apply_entries(tenant, entries(groups))
+
+
+def install_entries(controller, module_id: int,
+                    groups: Iterable[Tuple[str, int]] = ()) -> None:
+    """Deprecated: use :func:`install` with a :class:`repro.api.Tenant`."""
+    warn_deprecated_installer("multicast.install_entries",
+                              "multicast.install")
+    install(attach_tenant(controller, module_id), groups)
 
 
 def make_packet(vid: int, dst: str, pad_to: int = 0) -> Packet:

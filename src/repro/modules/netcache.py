@@ -12,7 +12,17 @@ from __future__ import annotations
 from typing import Dict, Iterable, Tuple
 
 from ..net.packet import Packet
-from .base import COMMON_HEADER_DECLS, common_packet, parser_chain, read_module_field
+from ..rmt.entry_types import ActionCall, Match, TableEntry
+from .base import (
+    COMMON_HEADER_DECLS,
+    EntryList,
+    apply_entries,
+    attach_tenant,
+    common_packet,
+    parser_chain,
+    read_module_field,
+    warn_deprecated_installer,
+)
 
 NAME = "netcache"
 
@@ -62,17 +72,34 @@ control NcIngress(inout headers_t hdr) {
 """
 
 
+def entries(cached: Iterable[Tuple[int, int, int]] = ()) -> EntryList:
+    """Cache rules for (key, slot index, value) triples + the GET stat."""
+    rules: EntryList = [("cache", TableEntry(
+        Match({"hdr.kv.kkey": key}),
+        ActionCall("cache_read", {"idx": idx})))
+        for key, idx, _value in cached]
+    rules.append(("stats", TableEntry(Match({"hdr.kv.op": OP_GET}),
+                                      ActionCall("count_op"))))
+    return rules
+
+
+def install(tenant, cached: Iterable[Tuple[int, int, int]] = ()) -> None:
+    """Install cached keys through a tenant handle: (key, slot, value).
+
+    Preloads each value into the ``values`` register, then wires the
+    cache and statistics tables."""
+    values = tenant.register("values")
+    for _key, idx, value in cached:
+        values.write(idx, value)
+    apply_entries(tenant, entries(cached))
+
+
 def install_entries(controller, module_id: int,
                     cached: Iterable[Tuple[int, int, int]] = ()) -> None:
-    """Install cached keys: (key, slot index, value). Also wires the
-    stats entry for GETs and preloads values into the register."""
-    for key, idx, value in cached:
-        controller.register_write(module_id, "values", idx, value)
-        controller.table_add(module_id, "cache",
-                             {"hdr.kv.kkey": key},
-                             "cache_read", {"idx": idx})
-    controller.table_add(module_id, "stats",
-                         {"hdr.kv.op": OP_GET}, "count_op")
+    """Deprecated: use :func:`install` with a :class:`repro.api.Tenant`."""
+    warn_deprecated_installer("netcache.install_entries",
+                              "netcache.install")
+    install(attach_tenant(controller, module_id), cached)
 
 
 def make_get(vid: int, key: int, pad_to: int = 0) -> Packet:

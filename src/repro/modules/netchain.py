@@ -10,7 +10,17 @@ evaluation version).
 from __future__ import annotations
 
 from ..net.packet import Packet
-from .base import COMMON_HEADER_DECLS, common_packet, parser_chain, read_module_field
+from ..rmt.entry_types import ActionCall, Match, TableEntry
+from .base import (
+    COMMON_HEADER_DECLS,
+    EntryList,
+    apply_entries,
+    attach_tenant,
+    common_packet,
+    parser_chain,
+    read_module_field,
+    warn_deprecated_installer,
+)
 
 NAME = "netchain"
 
@@ -45,10 +55,23 @@ control ChainIngress(inout headers_t hdr) {
 """
 
 
+def entries(port: int = 1) -> EntryList:
+    """The sequencer rule."""
+    return [("seq_table", TableEntry(Match({"hdr.chain.op": OP_SEQ}),
+                                     ActionCall("assign_seq",
+                                                {"port": port})))]
+
+
+def install(tenant, port: int = 1) -> None:
+    """Install the sequencer rule through a tenant handle."""
+    apply_entries(tenant, entries(port))
+
+
 def install_entries(controller, module_id: int, port: int = 1) -> None:
-    controller.table_add(module_id, "seq_table",
-                         {"hdr.chain.op": OP_SEQ},
-                         "assign_seq", {"port": port})
+    """Deprecated: use :func:`install` with a :class:`repro.api.Tenant`."""
+    warn_deprecated_installer("netchain.install_entries",
+                              "netchain.install")
+    install(attach_tenant(controller, module_id), port)
 
 
 def make_packet(vid: int, pad_to: int = 0) -> Packet:

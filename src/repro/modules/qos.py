@@ -11,7 +11,16 @@ from __future__ import annotations
 from typing import Iterable, Tuple
 
 from ..net.packet import Packet
-from .base import COMMON_HEADER_DECLS, common_packet, parser_chain
+from ..rmt.entry_types import ActionCall, Match, TableEntry
+from .base import (
+    COMMON_HEADER_DECLS,
+    EntryList,
+    apply_entries,
+    attach_tenant,
+    common_packet,
+    parser_chain,
+    warn_deprecated_installer,
+)
 
 NAME = "qos"
 
@@ -43,15 +52,30 @@ control QosIngress(inout headers_t hdr) {
 """
 
 
+DEFAULT_CLASSES = ((5060, DSCP_EF), (8801, DSCP_AF41))
+
+
+def entries(classes: Iterable[Tuple[int, int]] = DEFAULT_CLASSES
+            ) -> EntryList:
+    """(udp dport -> dscp) classification rules."""
+    return [("classify", TableEntry(
+        Match({"hdr.udp.dstPort": dport}),
+        ActionCall("set_tos", {"tos": tos_word(dscp)})))
+        for dport, dscp in classes]
+
+
+def install(tenant,
+            classes: Iterable[Tuple[int, int]] = DEFAULT_CLASSES) -> None:
+    """Install traffic classes through a tenant handle."""
+    apply_entries(tenant, entries(classes))
+
+
 def install_entries(controller, module_id: int,
-                    classes: Iterable[Tuple[int, int]] = ((5060, DSCP_EF),
-                                                          (8801, DSCP_AF41))
+                    classes: Iterable[Tuple[int, int]] = DEFAULT_CLASSES
                     ) -> None:
-    """Install (udp dport -> dscp) classification entries."""
-    for dport, dscp in classes:
-        controller.table_add(module_id, "classify",
-                             {"hdr.udp.dstPort": dport},
-                             "set_tos", {"tos": tos_word(dscp)})
+    """Deprecated: use :func:`install` with a :class:`repro.api.Tenant`."""
+    warn_deprecated_installer("qos.install_entries", "qos.install")
+    install(attach_tenant(controller, module_id), classes)
 
 
 def make_packet(vid: int, dport: int, pad_to: int = 0) -> Packet:

@@ -10,7 +10,17 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..net.packet import Packet
-from .base import COMMON_HEADER_DECLS, common_packet, parser_chain, read_module_field
+from ..rmt.entry_types import ActionCall, Match, TableEntry
+from .base import (
+    COMMON_HEADER_DECLS,
+    EntryList,
+    apply_entries,
+    attach_tenant,
+    common_packet,
+    parser_chain,
+    read_module_field,
+    warn_deprecated_installer,
+)
 
 NAME = "source_routing"
 
@@ -44,12 +54,24 @@ control SrIngress(inout headers_t hdr) {
 VALID_TAG = 0x5A5A
 
 
+def entries(valid_tags: Iterable[int] = (VALID_TAG,)) -> EntryList:
+    """Accept rules for the given routing tags."""
+    return [("route", TableEntry(Match({"hdr.srcroute.tag": tag}),
+                                 ActionCall("route_from_header")))
+            for tag in valid_tags]
+
+
+def install(tenant, valid_tags: Iterable[int] = (VALID_TAG,)) -> None:
+    """Install valid tags through a tenant handle."""
+    apply_entries(tenant, entries(valid_tags))
+
+
 def install_entries(controller, module_id: int,
                     valid_tags: Iterable[int] = (VALID_TAG,)) -> None:
-    for tag in valid_tags:
-        controller.table_add(module_id, "route",
-                             {"hdr.srcroute.tag": tag},
-                             "route_from_header")
+    """Deprecated: use :func:`install` with a :class:`repro.api.Tenant`."""
+    warn_deprecated_installer("source_routing.install_entries",
+                              "source_routing.install")
+    install(attach_tenant(controller, module_id), valid_tags)
 
 
 def make_packet(vid: int, port: int, tag: int = VALID_TAG,

@@ -28,6 +28,7 @@ from .parser import ProgrammableParser, ParseAction
 from .deparser import Deparser
 from .key_extractor import KeyExtractor, KeyExtractEntry, CmpOp
 from .match_table import ExactMatchTable, TernaryMatchTable, CamEntry, TernaryEntry
+from .entry_types import Exact, Ternary, Match, ActionCall, TableEntry
 from .action import AluOp, AluAction, VliwInstruction
 from .action_engine import ActionEngine, StatefulAccess
 from .stateful import StatefulMemory
@@ -54,6 +55,11 @@ __all__ = [
     "TernaryMatchTable",
     "CamEntry",
     "TernaryEntry",
+    "Exact",
+    "Ternary",
+    "Match",
+    "ActionCall",
+    "TableEntry",
     "AluOp",
     "AluAction",
     "VliwInstruction",

@@ -1,0 +1,122 @@
+"""Typed match-action entries: the data model of table programming.
+
+Entry installation used to travel through the stack as loose dicts and
+tuples (``key_values``/``key_masks``/``action_params``). These
+dataclasses give that traffic a schema, the way P4Runtime's ``FieldMatch``
+and ``Action`` messages do:
+
+* :class:`Exact` / :class:`Ternary` — one key field's match spec,
+* :class:`Match` — a whole lookup key (dotted field name -> spec),
+* :class:`ActionCall` — an action name bound to parameter values,
+* :class:`TableEntry` — the unit the runtime installs: ``Match`` +
+  ``ActionCall``.
+
+They carry no hardware knowledge: widths, slot layout, and encoding stay
+in :mod:`repro.compiler.backend` and :mod:`repro.rmt.encodings`. The
+controller's :meth:`~repro.runtime.controller.MenshenController.insert_entry`
+consumes them directly; the :mod:`repro.api` facade re-exports them as
+its public entry vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Exact:
+    """Match a key field exactly."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Ternary:
+    """Match a key field under a bit mask (Appendix B).
+
+    Only the bits set in ``mask`` participate; ``Ternary(v, 0)`` is a
+    wildcard. Requires a ternary table (pipeline ``match_mode="ternary"``).
+    """
+
+    value: int
+    mask: int
+
+
+FieldSpec = Union[int, Exact, Ternary]
+
+
+@dataclass(frozen=True)
+class Match:
+    """A lookup key: dotted field name -> match spec.
+
+    Bare integers are shorthand for :class:`Exact`. Build it from a dict
+    (``Match({"hdr.udp.dstPort": 53})``) or keyword-style via
+    :meth:`of` when field names are identifier-safe.
+    """
+
+    fields: Mapping[str, FieldSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, spec in self.fields.items():
+            if not isinstance(spec, (int, Exact, Ternary)):
+                raise ConfigError(
+                    f"match field {name!r}: expected int, Exact, or "
+                    f"Ternary, got {type(spec).__name__}")
+
+    def key_values(self) -> Dict[str, int]:
+        """The per-field values the compiled table's key builder takes."""
+        out: Dict[str, int] = {}
+        for name, spec in self.fields.items():
+            out[name] = spec if isinstance(spec, int) else spec.value
+        return out
+
+    def key_masks(self) -> Optional[Dict[str, int]]:
+        """Masks of the ternary fields, or ``None`` if purely exact."""
+        masks = {name: spec.mask for name, spec in self.fields.items()
+                 if isinstance(spec, Ternary)}
+        return masks or None
+
+    def is_ternary(self) -> bool:
+        return any(isinstance(s, Ternary) for s in self.fields.values())
+
+
+@dataclass(frozen=True)
+class ActionCall:
+    """An action name plus its parameter values."""
+
+    name: str
+    params: Mapping[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One installable match-action entry.
+
+    Priority is positional, as in the hardware: within a module's
+    contiguous CAM block, earlier-installed entries sit at lower
+    addresses and win ternary ties.
+    """
+
+    match: Match
+    action: ActionCall
+
+    @classmethod
+    def of(cls, match: Union[Match, Mapping[str, FieldSpec]],
+           action: Union[ActionCall, str],
+           params: Optional[Mapping[str, int]] = None) -> "TableEntry":
+        """Coerce loose arguments into a typed entry.
+
+        ``match`` may be a :class:`Match` or a plain dict; ``action`` an
+        :class:`ActionCall` or a bare name (with ``params`` alongside).
+        """
+        if not isinstance(match, Match):
+            match = Match(dict(match))
+        if not isinstance(action, ActionCall):
+            action = ActionCall(action, dict(params or {}))
+        elif params:
+            raise ConfigError(
+                "pass parameters inside the ActionCall, not separately")
+        return cls(match=match, action=action)

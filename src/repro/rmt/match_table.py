@@ -66,28 +66,30 @@ class ExactMatchTable:
         if not 0 <= index < self.depth:
             raise ConfigError(f"CAM index {index} out of range [0, {self.depth})")
 
-    def write(self, index: int, key: int, module_id: int) -> None:
-        """Install an entry at ``index`` (control-plane path)."""
+    def write_entry(self, index: int, entry: CamEntry) -> None:
+        """Install a typed entry at ``index`` (the canonical write path)."""
         self._check_index(index)
-        check_fits(key, KEY_BITS, "CAM key")
-        check_fits(module_id, MODULE_ID_BITS, "module id")
-        entry = CamEntry(key=key, module_id=module_id)
+        check_fits(entry.key, KEY_BITS, "CAM key")
+        check_fits(entry.module_id, MODULE_ID_BITS, "module id")
         # Exact-match CAMs must not hold duplicate words at two addresses:
         # the lookup result would be ambiguous (§5.1 makes the compiler
         # generate distinct entries for this reason).
         for i, existing in enumerate(self._entries):
             if (existing is not None and i != index
-                    and existing.key == key
-                    and existing.module_id == module_id):
+                    and existing.key == entry.key
+                    and existing.module_id == entry.module_id):
                 raise ConfigError(
                     f"duplicate CAM word at addresses {i} and {index}")
         self._entries[index] = entry
 
+    def write(self, index: int, key: int, module_id: int) -> None:
+        """Install an entry from loose ints (control-plane path)."""
+        self.write_entry(index, CamEntry(key=key, module_id=module_id))
+
     def write_word(self, index: int, word: int) -> None:
         """Install a raw 205-bit CAM word (reconfiguration-packet path)."""
         check_fits(word, CAM_ENTRY_BITS, "CAM word")
-        entry = CamEntry.decode(word)
-        self.write(index, entry.key, entry.module_id)
+        self.write_entry(index, CamEntry.decode(word))
 
     def invalidate(self, index: int) -> None:
         self._check_index(index)
@@ -141,20 +143,25 @@ class TernaryMatchTable:
             raise ConfigError(
                 f"TCAM index {index} out of range [0, {self.depth})")
 
-    def write(self, index: int, key: int, mask: int, module_id: int) -> None:
+    def write_entry(self, index: int, entry: TernaryEntry) -> None:
+        """Install a typed entry at ``index`` (the canonical write path)."""
         self._check_index(index)
-        check_fits(key, KEY_BITS, "TCAM key")
-        check_fits(mask, KEY_BITS, "TCAM mask")
-        check_fits(module_id, MODULE_ID_BITS, "module id")
-        self._entries[index] = TernaryEntry(key=key, mask=mask,
-                                            module_id=module_id)
+        check_fits(entry.key, KEY_BITS, "TCAM key")
+        check_fits(entry.mask, KEY_BITS, "TCAM mask")
+        check_fits(entry.module_id, MODULE_ID_BITS, "module id")
+        self._entries[index] = entry
+
+    def write(self, index: int, key: int, mask: int, module_id: int) -> None:
+        self.write_entry(index, TernaryEntry(key=key, mask=mask,
+                                             module_id=module_id))
 
     def write_word(self, index: int, word: int) -> None:
         """Install a raw 398-bit ternary word (reconfiguration path)."""
         from .encodings import TCAM_ENTRY_BITS, decode_tcam_entry
         check_fits(word, TCAM_ENTRY_BITS, "TCAM word")
         key, mask, module_id = decode_tcam_entry(word)
-        self.write(index, key, mask, module_id)
+        self.write_entry(index, TernaryEntry(key=key, mask=mask,
+                                             module_id=module_id))
 
     def invalidate(self, index: int) -> None:
         self._check_index(index)

@@ -30,7 +30,7 @@ from ..compiler.backend import CompiledModule
 from ..compiler.resource_checker import ResourceRequest
 from ..compiler.target import TargetDescription, system_target, user_target
 from ..core.pipeline import MenshenPipeline, SYSTEM_MODULE_ID
-from ..core.reconfig import ResourceId, ResourceType
+from ..core.reconfig import ConfigWrite, ResourceId, ResourceType
 from ..core.resources import ModuleAllocation, StageAllocation
 from ..errors import (
     AdmissionError,
@@ -44,9 +44,8 @@ from ..rmt.encodings import (
     encode_segment_entry,
     encode_tcam_entry,
 )
+from ..rmt.entry_types import ActionCall, Exact, Match, TableEntry, Ternary
 from .interface import SoftwareHardwareInterface
-
-ConfigWrite = Tuple[ResourceId, int, int]
 
 
 @dataclass
@@ -317,16 +316,17 @@ class MenshenController:
             [a.encode() for a in compiled.parse_actions])
         deparser_entry = encode_parser_entry(
             [a.encode() for a in compiled.deparse_actions])
-        writes.append((ResourceId(ResourceType.PARSER_TABLE, 0),
-                       module_id, parser_entry))
-        writes.append((ResourceId(ResourceType.DEPARSER_TABLE, 0),
-                       module_id, deparser_entry))
+        writes.append(ConfigWrite(ResourceId(ResourceType.PARSER_TABLE, 0),
+                                  module_id, parser_entry))
+        writes.append(ConfigWrite(ResourceId(ResourceType.DEPARSER_TABLE, 0),
+                                  module_id, deparser_entry))
         for table in compiled.tables.values():
-            writes.append((ResourceId(ResourceType.KEY_EXTRACTOR,
-                                      table.stage),
-                           module_id, table.key_entry.encode()))
-            writes.append((ResourceId(ResourceType.KEY_MASK, table.stage),
-                           module_id, table.key_mask))
+            writes.append(ConfigWrite(
+                ResourceId(ResourceType.KEY_EXTRACTOR, table.stage),
+                module_id, table.key_entry.encode()))
+            writes.append(ConfigWrite(
+                ResourceId(ResourceType.KEY_MASK, table.stage),
+                module_id, table.key_mask))
             if table.default_action is not None:
                 if not self.pipeline.enable_default_actions:
                     raise RuntimeInterfaceError(
@@ -335,22 +335,22 @@ class MenshenController:
                         f"enable_default_actions=True")
                 vliw = table.actions[table.default_action].make_vliw(
                     {}, register_bases or {})
-                writes.append((ResourceId(ResourceType.DEFAULT_VLIW,
-                                          table.stage),
-                               module_id, vliw.encode()))
+                writes.append(ConfigWrite(
+                    ResourceId(ResourceType.DEFAULT_VLIW, table.stage),
+                    module_id, vliw.encode()))
         for stage, alloc in allocation.stages.items():
             if alloc.stateful_words:
-                writes.append((ResourceId(ResourceType.SEGMENT, stage),
-                               module_id,
-                               encode_segment_entry(alloc.stateful_base,
-                                                    alloc.stateful_words)))
+                writes.append(ConfigWrite(
+                    ResourceId(ResourceType.SEGMENT, stage), module_id,
+                    encode_segment_entry(alloc.stateful_base,
+                                         alloc.stateful_words)))
             # Zero the partition so nothing leaks from a prior tenant.
             for addr in range(alloc.stateful_base, alloc.stateful_end):
-                writes.append((ResourceId(ResourceType.STATEFUL_WORD, stage),
-                               addr, 0))
+                writes.append(ConfigWrite(
+                    ResourceId(ResourceType.STATEFUL_WORD, stage), addr, 0))
             for row in range(alloc.match_start, alloc.match_end):
-                writes.append((ResourceId(ResourceType.CAM_INVALIDATE,
-                                          stage), row, 0))
+                writes.append(ConfigWrite(
+                    ResourceId(ResourceType.CAM_INVALIDATE, stage), row, 0))
         return writes
 
     def _install(self, module_id: int, name: str,
@@ -423,28 +423,32 @@ class MenshenController:
 
     # ------------------------------------------------------------------ entries
 
-    def table_add(self, module_id: int, table_name: str,
-                  key_values: Dict[str, int], action_name: str,
-                  action_params: Optional[Dict[str, int]] = None,
-                  key_masks: Optional[Dict[str, int]] = None) -> int:
-        """Install one match-action entry; returns an entry handle.
+    def insert_entry(self, module_id: int, table_name: str,
+                     entry: TableEntry) -> int:
+        """Install one typed match-action entry; returns an entry handle.
 
-        For ternary tables (Appendix B), ``key_masks`` maps key fields to
-        bit masks (omitted fields match exactly); entries take slots in
-        installation order within the module's contiguous block, so
-        earlier entries have higher priority (lower address wins).
+        This is the canonical installation path: the :mod:`repro.api`
+        facade and the dict-based :meth:`table_add` shim both land here.
+        For ternary tables (Appendix B), :class:`~repro.rmt.entry_types.
+        Ternary` field specs carry the bit masks (exact specs match
+        all bits); entries take slots in installation order within the
+        module's contiguous block, so earlier entries have higher
+        priority (lower address wins).
         """
         loaded = self._loaded(module_id)
         state = loaded.table(table_name)
         compiled_table = loaded.compiled.tables[table_name]
-        if action_name not in compiled_table.actions:
+        action = entry.action
+        if action.name not in compiled_table.actions:
             raise RuntimeInterfaceError(
-                f"table {table_name!r} has no action {action_name!r}")
+                f"table {table_name!r} has no action {action.name!r}")
         is_ternary = compiled_table.match_kind == "ternary"
+        key_masks = entry.match.key_masks()
         if key_masks and not is_ternary:
             raise RuntimeInterfaceError(
-                f"table {table_name!r} is exact-match; key_masks need a "
-                f"ternary table (and a pipeline with match_mode='ternary')")
+                f"table {table_name!r} is exact-match; Ternary field specs "
+                f"need a ternary table (and a pipeline with "
+                f"match_mode='ternary')")
         free = state.free_slots()
         if not free:
             raise RuntimeInterfaceError(
@@ -453,9 +457,9 @@ class MenshenController:
         cam_index = free[0]
         self.pipeline.ledger.check_match_write(module_id, state.stage,
                                                cam_index)
-        key = compiled_table.make_key(key_values)
-        vliw = compiled_table.actions[action_name].make_vliw(
-            action_params or {}, loaded.register_bases)
+        key = compiled_table.make_key(entry.match.key_values())
+        vliw = compiled_table.actions[action.name].make_vliw(
+            dict(action.params), loaded.register_bases)
         if is_ternary:
             entry_mask = (compiled_table.make_entry_mask(key_masks)
                           & compiled_table.key_mask)
@@ -471,6 +475,33 @@ class MenshenController:
         state.next_handle += 1
         state.entries[handle] = cam_index
         return handle
+
+    def table_add(self, module_id: int, table_name: str,
+                  key_values: Dict[str, int], action_name: str,
+                  action_params: Optional[Dict[str, int]] = None,
+                  key_masks: Optional[Dict[str, int]] = None) -> int:
+        """Install one entry from loose dicts (P4Runtime-style shim).
+
+        ``key_masks`` maps ternary key fields to bit masks (omitted
+        fields match exactly). Converts to a typed
+        :class:`~repro.rmt.entry_types.TableEntry` and delegates to
+        :meth:`insert_entry`.
+        """
+        key_masks = key_masks or {}
+        fields: Dict[str, object] = {}
+        for dotted, value in key_values.items():
+            if dotted in key_masks:
+                fields[dotted] = Ternary(value, key_masks[dotted])
+            else:
+                fields[dotted] = Exact(value)
+        missing = set(key_masks) - set(fields)
+        if missing:
+            raise RuntimeInterfaceError(
+                f"key_masks name fields without values: {sorted(missing)}")
+        entry = TableEntry(match=Match(fields),
+                           action=ActionCall(action_name,
+                                             dict(action_params or {})))
+        return self.insert_entry(module_id, table_name, entry)
 
     def table_delete(self, module_id: int, table_name: str,
                      handle: int) -> None:

@@ -18,9 +18,11 @@ the system module's effects.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+import warnings
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..modules.base import COMMON_HEADER_DECLS, ip_halves, parser_chain
+from ..rmt.entry_types import ActionCall, Match, TableEntry
 
 #: ~70 lines of P4-16, matching the paper's "120 lines" scale.
 SYSTEM_P4_SOURCE = COMMON_HEADER_DECLS + """
@@ -67,48 +69,72 @@ control SystemIngress(inout headers_t hdr) {
 """
 
 
+def _dst_match(ip: str) -> Match:
+    halves = ip_halves(ip)
+    return Match({"hdr.ipv4.dstHi": halves["hi"],
+                  "hdr.ipv4.dstLo": halves["lo"]})
+
+
+def system_entries(vip_map: Dict[str, str],
+                   routes: Dict[str, int],
+                   mcast_routes: Iterable[Tuple[str, int]] = (),
+                   counter_index: Optional[Dict[str, int]] = None
+                   ) -> List[Tuple[str, TableEntry]]:
+    """The system module's entries as typed ``(table, entry)`` pairs.
+
+    ``vip_map``: virtual IP -> physical IP. ``routes``: physical IP ->
+    output port. ``mcast_routes``: (physical IP, multicast group).
+    ``counter_index``: virtual/physical IP -> tenant counter slot.
+    Consumed by :meth:`repro.api.Switch.install_system`.
+    """
+    counter_index = counter_index or {}
+    entries: List[Tuple[str, TableEntry]] = []
+    for vip, pip in vip_map.items():
+        p = ip_halves(pip)
+        entries.append(("vip", TableEntry(
+            match=_dst_match(vip),
+            action=ActionCall("translate",
+                              {"hi": p["hi"], "lo": p["lo"],
+                               "idx": counter_index.get(vip, 0)}))))
+    for pip, port in routes.items():
+        entries.append(("route", TableEntry(
+            match=_dst_match(pip),
+            action=ActionCall("set_port", {"port": port}))))
+    for pip, grp in mcast_routes:
+        entries.append(("route", TableEntry(
+            match=_dst_match(pip),
+            action=ActionCall("to_mcast", {"grp": grp}))))
+    return entries
+
+
 def install_system_entries(
         controller,
         vip_map: Dict[str, str],
         routes: Dict[str, int],
         mcast_routes: Iterable[Tuple[str, int]] = (),
         counter_index: Dict[str, int] = None) -> None:
-    """Install vIP translations and physical routes.
-
-    ``vip_map``: virtual IP -> physical IP. ``routes``: physical IP ->
-    output port. ``mcast_routes``: (physical IP, multicast group).
-    ``counter_index``: virtual/physical IP -> tenant counter slot.
-    """
+    """Deprecated: use :meth:`repro.api.Switch.install_system`."""
+    warnings.warn(
+        "install_system_entries(controller, ...) is deprecated; use "
+        "switch.install_system(...) from repro.api",
+        DeprecationWarning, stacklevel=2)
     from ..core.pipeline import SYSTEM_MODULE_ID
-    counter_index = counter_index or {}
-    for vip, pip in vip_map.items():
-        v = ip_halves(vip)
-        p = ip_halves(pip)
-        idx = counter_index.get(vip, 0)
-        controller.table_add(SYSTEM_MODULE_ID, "vip",
-                             {"hdr.ipv4.dstHi": v["hi"],
-                              "hdr.ipv4.dstLo": v["lo"]},
-                             "translate",
-                             {"hi": p["hi"], "lo": p["lo"], "idx": idx})
-    for pip, port in routes.items():
-        p = ip_halves(pip)
-        controller.table_add(SYSTEM_MODULE_ID, "route",
-                             {"hdr.ipv4.dstHi": p["hi"],
-                              "hdr.ipv4.dstLo": p["lo"]},
-                             "set_port", {"port": port})
-    for pip, grp in mcast_routes:
-        p = ip_halves(pip)
-        controller.table_add(SYSTEM_MODULE_ID, "route",
-                             {"hdr.ipv4.dstHi": p["hi"],
-                              "hdr.ipv4.dstLo": p["lo"]},
-                             "to_mcast", {"grp": grp})
+    for table, entry in system_entries(vip_map, routes, mcast_routes,
+                                       counter_index):
+        controller.insert_entry(SYSTEM_MODULE_ID, table, entry)
 
 
 def setup_system_module(controller, vip_map: Dict[str, str] = None,
                         routes: Dict[str, int] = None,
                         mcast_routes: Iterable[Tuple[str, int]] = ()):
-    """Load the system module and install its entries in one call."""
+    """Deprecated: use :meth:`repro.api.Switch.install_system`."""
+    warnings.warn(
+        "setup_system_module(controller, ...) is deprecated; use "
+        "switch.install_system(...) from repro.api",
+        DeprecationWarning, stacklevel=2)
+    from ..core.pipeline import SYSTEM_MODULE_ID
     loaded = controller.load_system_module(SYSTEM_P4_SOURCE)
-    install_system_entries(controller, vip_map or {}, routes or {},
-                           mcast_routes)
+    for table, entry in system_entries(vip_map or {}, routes or {},
+                                       mcast_routes):
+        controller.insert_entry(SYSTEM_MODULE_ID, table, entry)
     return loaded

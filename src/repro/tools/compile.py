@@ -11,7 +11,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..compiler import CompilerOptions, compile_module
+from ..api import compile as compile_source
 from ..errors import ReproError
 
 
@@ -73,11 +73,15 @@ def main(argv=None) -> int:
             with open(args.source) as fileobj:
                 source = fileobj.read()
             name = args.source
-        compiled = compile_module(source, name, CompilerOptions())
     except (ReproError, OSError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    print(format_report(compiled))
+    result = compile_source(source, name)
+    for diag in result.diagnostics:
+        print(diag, file=sys.stderr)
+    if not result.ok:
+        return 1
+    print(format_report(result.module))
     return 0
 
 

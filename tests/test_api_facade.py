@@ -1,0 +1,375 @@
+"""End-to-end tests for the ``repro.api`` tenant-session facade.
+
+Covers the acceptance surface of the API redesign: builder
+construction, multi-tenant admission, behavior isolation as an API
+property (cross-VID access raises), typed entries, structured compile
+diagnostics, transactional reconfiguration with rollback, deprecation
+shims on the old entry points, and interface-timing overrides.
+"""
+
+import pytest
+
+from repro.api import (
+    ActionCall,
+    CompilationFailed,
+    Match,
+    Switch,
+    TableEntry,
+    TenantIsolationError,
+    Ternary,
+    TransactionError,
+    compile,
+)
+from repro.core import MenshenPipeline
+from repro.errors import AdmissionError, RuntimeInterfaceError
+from repro.modules import calc, firewall, netcache, netchain, qos
+from repro.runtime import MenshenController
+from repro.sysmod import SYSTEM_P4_SOURCE
+
+
+def two_tenant_switch():
+    switch = Switch.build().create()
+    fw = switch.admit("fw", firewall.P4_SOURCE, vid=1)
+    nc = switch.admit("nc", netcache.P4_SOURCE, vid=2)
+    return switch, fw, nc
+
+
+class TestBuilder:
+    def test_geometry_knobs(self):
+        switch = (Switch.build().stages(7).max_modules(8).ports(4)
+                  .create())
+        assert switch.params.num_stages == 7
+        assert switch.params.max_modules == 8
+        assert switch.pipeline.traffic_manager.num_ports == 4
+
+    def test_ternary_personality(self):
+        switch = Switch.build().ternary().create()
+        assert switch.pipeline.match_mode == "ternary"
+
+    def test_timing_overrides_reach_interface(self):
+        switch = (Switch.build()
+                  .timing(t_sw_per_entry=2e-3, t_daisy_per_packet=1e-6)
+                  .create())
+        assert switch.interface.t_sw_per_entry == 2e-3
+        assert switch.interface.t_daisy_per_packet == 1e-6
+        # The cost model actually uses the overrides.
+        tenant = switch.admit("calc", calc.P4_SOURCE)
+        before = switch.interface.stats.modeled_time_s
+        tenant.table("calc_table").insert(
+            match={"hdr.calc.op": calc.OP_ECHO}, action="op_echo")
+        assert switch.interface.stats.modeled_time_s >= before + 2e-3
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            Switch.build().stages(0)
+        with pytest.raises(ValueError):
+            Switch.build().match_mode("lpm")
+
+    def test_wrap_existing_controller(self):
+        pipeline = MenshenPipeline()
+        controller = MenshenController(pipeline)
+        controller.load_module(3, calc.P4_SOURCE, "legacy")
+        switch = Switch(controller=controller)
+        tenant = switch.tenant(3)
+        assert tenant.name == "legacy"
+        assert "calc_table" in tenant.tables()
+
+
+class TestTenantSessions:
+    def test_two_tenants_isolated_tables(self):
+        switch, fw, nc = two_tenant_switch()
+        firewall.install(fw, blocked=[("10.0.0.66", 53)])
+        netcache.install(nc, cached=[(0xFEED, 0, 77)])
+
+        # Cross-VID access raises an isolation error (the acceptance
+        # criterion): fw's handle cannot name nc's table and vice versa.
+        with pytest.raises(TenantIsolationError):
+            fw.table("cache")
+        with pytest.raises(TenantIsolationError):
+            nc.table("acl")
+        # Registers too.
+        with pytest.raises(TenantIsolationError):
+            fw.register("values")
+        # Unknown names are a plain error, not an isolation error.
+        with pytest.raises(RuntimeInterfaceError):
+            fw.table("nonexistent")
+
+    def test_traffic_is_scoped(self):
+        switch, fw, nc = two_tenant_switch()
+        firewall.install(fw, blocked=[("10.0.0.66", 53)])
+        netcache.install(nc, cached=[(0xFEED, 0, 77)])
+        dropped = switch.process(firewall.make_packet(1, "10.0.0.66", 53))
+        assert dropped.dropped
+        hit = switch.process(netcache.make_get(2, 0xFEED))
+        assert netcache.read_value(hit.packet) == 77
+        assert fw.counters().packets_in == 1
+        assert nc.counters().packets_out == 1
+
+    def test_auto_vid_assignment(self):
+        switch = Switch.build().create()
+        t1 = switch.admit("a", calc.P4_SOURCE)
+        t2 = switch.admit("b", calc.P4_SOURCE)
+        assert (t1.vid, t2.vid) == (1, 2)
+        t1.evict()
+        t3 = switch.admit("c", calc.P4_SOURCE)
+        assert t3.vid == 1  # lowest free VID is recycled
+
+    def test_tenant_lookup_by_name(self):
+        switch, fw, _nc = two_tenant_switch()
+        assert switch.tenant("fw") is fw
+        with pytest.raises(RuntimeInterfaceError):
+            switch.tenant("stranger")
+
+    def test_evict_releases_and_invalidates(self):
+        switch, fw, nc = two_tenant_switch()
+        handle = fw.table("acl")
+        fw.evict()
+        assert switch.controller.loaded_ids() == [2]
+        with pytest.raises(RuntimeInterfaceError):
+            handle.insert(match={"hdr.ipv4.srcAddr": 1,
+                                 "hdr.udp.dstPort": 2}, action="block")
+        # The other tenant is untouched.
+        netcache.install(nc, cached=[(1, 0, 5)])
+
+    def test_update_swaps_program(self):
+        switch = Switch.build().create()
+        tenant = switch.admit("t1", calc.P4_SOURCE, vid=1)
+        calc.install(tenant)
+        tenant.update(qos.P4_SOURCE)
+        qos.install(tenant)
+        result = switch.process(qos.make_packet(1, 5060))
+        assert qos.read_dscp(result.packet) == qos.DSCP_EF
+
+    def test_system_module_and_counters(self):
+        switch = Switch.build().create()
+        system = switch.install_system(
+            vip_map={"10.99.0.5": "10.0.0.2"},
+            routes={"10.0.0.2": 1},
+            counter_index={"10.99.0.5": 3})
+        tenant = switch.admit("chain", netchain.P4_SOURCE, vid=3)
+        netchain.install(tenant, port=1)
+        from repro.modules.base import common_packet
+        packet = common_packet(3, netchain.OP_SEQ.to_bytes(2, "big")
+                               + bytes(8), dst="10.99.0.5")
+        result = switch.process(packet)
+        assert result.forwarded
+        assert system.register("tenant_counters").read(3) == 1
+        assert switch.tenant("system") is system
+        with pytest.raises(RuntimeInterfaceError):
+            system.evict()
+
+
+class TestTypedEntries:
+    def test_insert_accepts_typed_entry(self):
+        switch = Switch.build().create()
+        tenant = switch.admit("calc", calc.P4_SOURCE, vid=4)
+        entry = TableEntry(Match({"hdr.calc.op": calc.OP_ADD}),
+                           ActionCall("op_add", {"port": 2}))
+        tenant.table("calc_table").insert(entry=entry)
+        result = switch.process(calc.make_packet(4, calc.OP_ADD, 20, 22))
+        assert calc.read_result(result.packet) == 42
+        assert result.egress_port == 2
+
+    def test_ternary_specs_need_ternary_pipeline(self):
+        switch = Switch.build().create()  # exact mode
+        tenant = switch.admit("fw", firewall.P4_SOURCE, vid=1)
+        with pytest.raises(RuntimeInterfaceError):
+            tenant.table("acl").insert(
+                match=Match({"hdr.ipv4.srcAddr": Ternary(0, 0),
+                             "hdr.udp.dstPort": Ternary(0, 0)}),
+                action="block")
+
+    def test_ternary_priority_order(self):
+        switch = Switch.build().ternary().create()
+        tenant = switch.admit("fw", firewall.P4_SOURCE_TERNARY, vid=2)
+        firewall.install_prefix(tenant,
+                                blocked_prefixes=[("10.66.0.0", 16)],
+                                default_port=1)
+        blocked = switch.process(firewall.make_packet(2, "10.66.4.20", 443))
+        allowed = switch.process(firewall.make_packet(2, "10.70.1.1", 443))
+        assert blocked.dropped and allowed.forwarded
+
+    def test_handle_bookkeeping(self):
+        switch = Switch.build().create()
+        tenant = switch.admit("calc", calc.P4_SOURCE, vid=1)
+        table = tenant.table("calc_table")
+        h = table.insert(match={"hdr.calc.op": calc.OP_ECHO},
+                         action="op_echo")
+        assert table.handles() == [h]
+        assert table.occupancy() == 1
+        assert table.capacity == 4
+        table.delete(h)
+        assert table.occupancy() == 0
+
+
+class TestCompileDiagnostics:
+    def test_success_carries_usage(self):
+        result = compile(netcache.P4_SOURCE, "netcache")
+        assert result.ok
+        assert result.module is not None
+        usage = result.stage_usage
+        assert sum(u.match_entries for u in usage.values()) == 6
+        assert sum(u.stateful_words for u in usage.values()) == 12
+        assert result.unwrap() is result.module
+
+    def test_static_check_finding_is_structured(self):
+        bad = firewall.P4_SOURCE.replace(
+            "action block() { mark_to_drop(); }",
+            "action block() { recirculate(); }")
+        result = compile(bad, "bad-fw")
+        assert not result.ok
+        assert result.module is None
+        assert any(d.code == "static-check" for d in result.errors)
+        with pytest.raises(CompilationFailed) as excinfo:
+            result.unwrap()
+        assert excinfo.value.diagnostics == result.diagnostics
+
+    def test_parse_error_is_structured(self):
+        result = compile("this is not P4 at all", "garbage")
+        assert not result.ok
+        assert result.errors
+        assert result.errors[0].severity == "error"
+
+    def test_capacity_warning(self):
+        big = calc.P4_SOURCE.replace("size = 4;", "size = 16;")
+        result = compile(big, "big-calc")
+        assert result.ok
+        assert any(d.code == "capacity" for d in result.warnings)
+
+    def test_switch_compile_uses_current_target(self):
+        switch = Switch.build().create()
+        switch.install_system(SYSTEM_P4_SOURCE)
+        # After the system module loads, user stages exclude first/last.
+        result = switch.compile(calc.P4_SOURCE, "calc")
+        assert result.ok
+        assert 0 not in result.module.stages_used()
+
+
+class TestTransactions:
+    def test_commit_applies_batch(self):
+        switch = Switch.build().create()
+        tenant = switch.admit("calc", calc.P4_SOURCE, vid=5)
+        with tenant.transaction() as txn:
+            pending = [txn.table(t).insert(entry=e)
+                       for t, e in calc.entries(port=3)]
+            assert all(p.handle is None for p in pending)  # queued only
+        assert all(p.handle is not None for p in pending)
+        result = switch.process(calc.make_packet(5, calc.OP_ADD, 1, 2))
+        assert calc.read_result(result.packet) == 3
+
+    def test_rollback_leaves_pipeline_untouched(self):
+        switch, fw, nc = two_tenant_switch()
+        firewall.install(fw, allowed=[("10.0.0.1", 80, 2)])
+        stage = fw.table("acl")._tenant._loaded().table("acl").stage
+        cam = switch.pipeline.stages[stage].match_table
+        occupancy_before = cam.occupancy()
+        nc.register("values").write(1, 111)
+        with pytest.raises(TransactionError):
+            with nc.transaction() as txn:
+                txn.table("cache").insert(
+                    match={"hdr.kv.kkey": 7},
+                    action="cache_read", params={"idx": 1})
+                txn.register("values").write(1, 222)
+                # This one fails: no such action.
+                txn.table("cache").insert(match={"hdr.kv.kkey": 8},
+                                          action="no_such_action")
+        # Everything rolled back: CAM occupancy, register value, and
+        # the other tenant's rules all as before.
+        assert cam.occupancy() == occupancy_before
+        assert nc.table("cache").occupancy() == 0
+        assert nc.register("values").read(1) == 111
+        allowed = switch.process(firewall.make_packet(1, "10.0.0.1", 80))
+        assert allowed.egress_port == 2
+
+    def test_exception_in_block_discards_queue(self):
+        switch = Switch.build().create()
+        tenant = switch.admit("calc", calc.P4_SOURCE, vid=1)
+        with pytest.raises(KeyboardInterrupt):
+            with tenant.transaction() as txn:
+                txn.table("calc_table").insert(
+                    match={"hdr.calc.op": 1}, action="op_echo")
+                raise KeyboardInterrupt()
+        assert tenant.table("calc_table").occupancy() == 0
+
+    def test_transactional_delete_restores_on_rollback(self):
+        switch = Switch.build().create()
+        tenant = switch.admit("calc", calc.P4_SOURCE, vid=1)
+        table = tenant.table("calc_table")
+        h = table.insert(match={"hdr.calc.op": calc.OP_ADD},
+                         action="op_add", params={"port": 2})
+        with pytest.raises(TransactionError):
+            with tenant.transaction() as txn:
+                txn.table("calc_table").delete(h)
+                txn.table("calc_table").insert(match={"hdr.calc.op": 9},
+                                               action="bogus")
+        # The deleted entry is back (same content, maybe new handle).
+        assert table.occupancy() == 1
+        result = switch.process(calc.make_packet(1, calc.OP_ADD, 2, 3))
+        assert calc.read_result(result.packet) == 5
+
+    def test_foreign_table_rejected_at_queue_time(self):
+        switch, fw, nc = two_tenant_switch()
+        with pytest.raises(TenantIsolationError):
+            with fw.transaction() as txn:
+                txn.table("cache")
+
+    def test_commit_preserves_enclosing_updating_window(self):
+        switch = Switch.build().create()
+        tenant = switch.admit("calc", calc.P4_SOURCE, vid=1)
+        with tenant.updating():
+            with tenant.transaction() as txn:
+                txn.table("calc_table").insert(
+                    match={"hdr.calc.op": calc.OP_ECHO}, action="op_echo")
+            # Still inside the declared drop window: packets must drop.
+            result = switch.process(calc.make_packet(1, calc.OP_ECHO, 1, 0))
+            assert result.dropped
+            assert result.drop_reason == "module_updating"
+        result = switch.process(calc.make_packet(1, calc.OP_ECHO, 7, 0))
+        assert result.forwarded
+
+    def test_positional_entry_with_action_rejected(self):
+        switch = Switch.build().create()
+        tenant = switch.admit("calc", calc.P4_SOURCE, vid=1)
+        entry = TableEntry(Match({"hdr.calc.op": 1}), ActionCall("op_echo"))
+        with pytest.raises(ValueError):
+            tenant.table("calc_table").insert(entry, action="op_add",
+                                              params={"port": 1})
+        tenant.table("calc_table").insert(entry)  # bare positional is fine
+
+    def test_other_tenants_flow_during_commit(self):
+        switch, fw, nc = two_tenant_switch()
+        netcache.install(nc, cached=[(0xFEED, 0, 9)])
+        # Commit a transaction on fw and verify its bitmap window never
+        # touched nc: nc traffic flows after, and fw's drop counter
+        # shows nothing from nc's VID.
+        with fw.transaction() as txn:
+            txn.table("acl").insert(match={"hdr.ipv4.srcAddr": 1,
+                                           "hdr.udp.dstPort": 1},
+                                    action="block")
+        hit = switch.process(netcache.make_get(2, 0xFEED))
+        assert hit.forwarded
+
+
+class TestDeprecationShims:
+    def test_module_installers_warn_but_work(self):
+        pipeline = MenshenPipeline()
+        controller = MenshenController(pipeline)
+        controller.load_module(3, calc.P4_SOURCE, "calc")
+        with pytest.deprecated_call():
+            calc.install_entries(controller, 3, port=2)
+        result = pipeline.process(calc.make_packet(3, calc.OP_ADD, 1, 1))
+        assert calc.read_result(result.packet) == 2
+
+    def test_sysmod_installers_warn_but_work(self):
+        pipeline = MenshenPipeline()
+        controller = MenshenController(pipeline)
+        with pytest.deprecated_call():
+            from repro.sysmod import setup_system_module
+            setup_system_module(controller, routes={"10.0.0.2": 1})
+        assert controller.system_module is not None
+
+    def test_admission_error_when_full(self):
+        switch = Switch.build().max_modules(2).create()
+        switch.admit("only", calc.P4_SOURCE)  # VID 1 of [1]
+        with pytest.raises(AdmissionError):
+            switch.admit("overflow", calc.P4_SOURCE)
