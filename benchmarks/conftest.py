@@ -3,11 +3,16 @@
 Each bench regenerates one table or figure from the paper's evaluation
 (§5) and prints its rows; printed output is also appended to
 ``benchmarks/results/<name>.txt`` so ``--benchmark-only`` runs leave
-artifacts regardless of capture settings.
+artifacts regardless of capture settings. Rows are additionally
+persisted as machine-readable ``benchmarks/results/<name>.json``
+(``{"title": ..., "rows": [...]}``) so downstream tooling — regression
+dashboards, the engine-throughput gate — can consume results without
+screen-scraping the table.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Dict, List, Sequence
 
@@ -16,7 +21,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 def report(name: str, title: str, rows: List[Dict],
            columns: Sequence[str] = None) -> None:
-    """Print a labeled table and persist it under benchmarks/results/."""
+    """Print a labeled table; persist .txt and .json artifacts."""
     if not rows:
         lines = [f"== {title} ==", "(no rows)"]
     else:
@@ -34,3 +39,6 @@ def report(name: str, title: str, rows: List[Dict],
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps({"title": title, "rows": rows}, indent=2, default=str)
+        + "\n")

@@ -21,6 +21,7 @@ from .compiler import compile_module
 from .rmt.params import HardwareParams, DEFAULT_PARAMS
 from .api import (
     ActionCall,
+    BatchEngine,
     CompileResult,
     Diagnostic,
     Exact,
@@ -46,6 +47,7 @@ __all__ = [
     "Match",
     "ActionCall",
     "TableEntry",
+    "BatchEngine",
     # layered entry points
     "MenshenPipeline",
     "MenshenController",

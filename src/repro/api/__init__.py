@@ -28,6 +28,7 @@ from ..errors import (
     TenantIsolationError,
     TransactionError,
 )
+from ..engine import BatchEngine, EngineCounters
 from ..rmt.entry_types import ActionCall, Exact, Match, TableEntry, Ternary
 from .diagnostics import CompileResult, Diagnostic, StageUsage, compile
 from .switch import (
@@ -63,6 +64,9 @@ __all__ = [
     "RegisterHandle",
     "Transaction",
     "PendingEntry",
+    # batched serving
+    "BatchEngine",
+    "EngineCounters",
     # errors
     "TenantIsolationError",
     "TransactionError",

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..compiler.target import TargetDescription
 from ..core.pipeline import SYSTEM_MODULE_ID, MenshenPipeline
+from ..engine.batch import BatchEngine
 from ..errors import (
     AdmissionError,
     RuntimeInterfaceError,
@@ -193,6 +194,7 @@ class Switch:
                 "or the other")
         self._controller = controller
         self._tenants: Dict[int, Tenant] = {}
+        self._engines: List[BatchEngine] = []
 
     @staticmethod
     def build() -> SwitchBuilder:
@@ -290,6 +292,26 @@ class Switch:
 
     def process_many(self, packets: List[Packet]) -> List[PipelineResult]:
         return self.pipeline.process_many(packets)
+
+    def engine(self, cache_capacity: int = 4096,
+               enable_cache: bool = True) -> BatchEngine:
+        """A batched execution engine over this switch's pipeline.
+
+        Engines obtained here are registered with the switch, so every
+        transactional reconfiguration through the facade (transactions,
+        ``tenant.update``, ``tenant.evict``) flushes the affected
+        tenant's flow-cache shard the moment it commits — on top of the
+        epoch check that already invalidates stale entries.
+        """
+        engine = BatchEngine(self.pipeline, cache_capacity=cache_capacity,
+                             enable_cache=enable_cache)
+        self._engines.append(engine)
+        return engine
+
+    def _notify_reconfigured(self, vid: int) -> None:
+        """Flush attached engines' cached flows for one tenant."""
+        for engine in self._engines:
+            engine.invalidate(vid)
 
     # -- services -----------------------------------------------------------------
 
@@ -427,6 +449,7 @@ class Tenant:
                 "the system module cannot be replaced at runtime")
         self._controller.update_module(self._vid, source)
         self._entry_log.clear()
+        self._switch._notify_reconfigured(self._vid)
         return self
 
     def evict(self) -> None:
@@ -436,6 +459,7 @@ class Tenant:
         self._controller.unload_module(self._vid)
         self._switch._tenants.pop(self._vid, None)
         self._entry_log.clear()
+        self._switch._notify_reconfigured(self._vid)
 
     @contextlib.contextmanager
     def updating(self):
@@ -677,6 +701,9 @@ class Transaction:
         finally:
             if owns_window:
                 interface.clear_module_updating(tenant.vid)
+            # Committed or rolled back, configuration writes happened:
+            # flush this tenant's cached flows before its next packet.
+            tenant._switch._notify_reconfigured(tenant.vid)
         self._ops.clear()
 
 

@@ -26,7 +26,7 @@ modules own the stages in between.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Tuple
 
 from ..errors import ReconfigurationError
 from ..net.packet import Packet
@@ -94,6 +94,11 @@ class MenshenPipeline:
         self.loaded_modules: Set[int] = set()
         #: Stages owned by the system-level module (empty until one loads).
         self.system_stages: Set[int] = set()
+        #: Monotonic configuration version. Every write that lands through
+        #: the daisy chain — and every module load/unload — bumps it, so
+        #: result caches (``repro.engine``) can validate memoized results
+        #: against the configuration they were learned under.
+        self.config_epoch = 0
 
     # -- daisy-chain wiring ----------------------------------------------------
 
@@ -129,9 +134,11 @@ class MenshenPipeline:
 
     def mark_loaded(self, module_id: int) -> None:
         self.loaded_modules.add(module_id)
+        self.config_epoch += 1
 
     def mark_unloaded(self, module_id: int) -> None:
         self.loaded_modules.discard(module_id)
+        self.config_epoch += 1
 
     def set_system_stages(self, stages: Set[int]) -> None:
         """Declare which stages the system-level module occupies."""
@@ -139,6 +146,7 @@ class MenshenPipeline:
             if not 0 <= s < self.params.num_stages:
                 raise ReconfigurationError(f"no such stage: {s}")
         self.system_stages = set(stages)
+        self.config_epoch += 1
 
     # -- reconfiguration paths ------------------------------------------------------
 
@@ -155,12 +163,28 @@ class MenshenPipeline:
         payload = self.daisy_chain.deliver(packet)
         if payload is not None:
             self.stats.record_reconfig()
+            self.config_epoch += 1
         return payload
 
     # -- data plane ------------------------------------------------------------------
+    #
+    # ``process`` is split into three phases so a batched executor
+    # (:mod:`repro.engine`) can interpose a result cache between them
+    # without re-implementing any semantics:
+    #
+    # * :meth:`admit`   — filter verdict, module dispatch, early drops;
+    # * :meth:`execute` — parse -> stages -> deparse (the expensive part);
+    # * :meth:`commit`  — traffic-manager enqueue + output statistics.
 
-    def process(self, packet: Packet) -> PipelineResult:
-        """Push one ingress packet through filter, pipeline, and TM."""
+    def admit(self, packet: Packet) -> Tuple[Optional[PipelineResult], int]:
+        """Classify one ingress packet and dispatch it to its module.
+
+        Returns ``(early_result, module_id)``: ``early_result`` is a
+        finished :class:`PipelineResult` for packets that never reach the
+        parser (reconfiguration, untagged, module-updating, unknown
+        module); otherwise it is ``None`` and ``module_id`` names the
+        admitted tenant.
+        """
         verdict = self.packet_filter.classify(packet)
 
         if verdict == PacketClass.RECONFIG:
@@ -168,37 +192,51 @@ class MenshenPipeline:
                 payload = self.daisy_chain.deliver(packet)
                 if payload is not None:
                     self.stats.record_reconfig()
-                return PipelineResult(packet=None, phv=None, dropped=True,
-                                      drop_reason="reconfig_consumed")
+                    self.config_epoch += 1
+                return (PipelineResult(packet=None, phv=None, dropped=True,
+                                       drop_reason="reconfig_consumed"), 0)
             # Switch mode: data ports must never reach the config path.
             self.stats.record_drop(0, "reconfig_on_dataplane")
-            return PipelineResult(packet=None, phv=None, dropped=True,
-                                  drop_reason="reconfig_on_dataplane")
+            return (PipelineResult(packet=None, phv=None, dropped=True,
+                                   drop_reason="reconfig_on_dataplane"), 0)
 
         if verdict == PacketClass.CONTROL:
             self.stats.record_drop(0, "untagged")
-            return PipelineResult(packet=None, phv=None, dropped=True,
-                                  drop_reason="untagged")
+            return (PipelineResult(packet=None, phv=None, dropped=True,
+                                   drop_reason="untagged"), 0)
 
         module_id = extract_module_id(packet)
 
         if verdict == PacketClass.DROP_UPDATING:
             self.stats.record_in(module_id)
             self.stats.record_drop(module_id, "module_updating")
-            return PipelineResult(packet=None, phv=None, dropped=True,
-                                  module_id=module_id,
-                                  drop_reason="module_updating")
+            return (PipelineResult(packet=None, phv=None, dropped=True,
+                                   module_id=module_id,
+                                   drop_reason="module_updating"), module_id)
 
         self.stats.record_in(module_id)
         if module_id not in self.loaded_modules:
             self.stats.record_drop(module_id, "unknown_module")
-            return PipelineResult(packet=None, phv=None, dropped=True,
-                                  module_id=module_id,
-                                  drop_reason="unknown_module")
+            return (PipelineResult(packet=None, phv=None, dropped=True,
+                                   module_id=module_id,
+                                   drop_reason="unknown_module"), module_id)
+        return (None, module_id)
 
+    def execute(self, packet: Packet, module_id: int,
+                buffer_slot: Optional[int] = None
+                ) -> Tuple[Optional[Packet], "PHV"]:
+        """Run an admitted packet through parser, stages, and deparser.
+
+        ``buffer_slot`` lets a batched executor pre-assign the §3.2
+        packet-buffer slot in arrival order (the scalar path draws it
+        round-robin here). Returns ``(merged, phv)``; ``merged`` is
+        ``None`` when the module discarded the packet.
+        """
         buffered = packet.copy()  # the packet buffer's copy
         phv = self.parser.parse(packet, module_id)
-        phv.metadata.buffer_tag = 1 << self.packet_filter.assign_buffer()
+        if buffer_slot is None:
+            buffer_slot = self.packet_filter.assign_buffer()
+        phv.metadata.buffer_tag = 1 << buffer_slot
 
         for i, stage in enumerate(self.stages):
             stage_module = (SYSTEM_MODULE_ID if i in self.system_stages
@@ -206,18 +244,31 @@ class MenshenPipeline:
             phv = stage.process(phv, stage_module)
 
         merged = self.deparser.deparse(phv, buffered, module_id)
+        return merged, phv
+
+    def commit(self, merged: Optional[Packet], phv: "PHV",
+               module_id: int, cache_hit: bool = False) -> PipelineResult:
+        """Account for an executed packet and enqueue it into the TM."""
         if merged is None:
             self.stats.record_drop(module_id, "discard")
             return PipelineResult(packet=None, phv=phv, dropped=True,
-                                  module_id=module_id, drop_reason="discard")
-
+                                  module_id=module_id, drop_reason="discard",
+                                  cache_hit=cache_hit)
         egress = phv.metadata.dst_port
         mcast = phv.metadata.mcast_group
         self.traffic_manager.enqueue(merged, egress, mcast)
         self.stats.record_out(module_id, len(merged))
         return PipelineResult(packet=merged, phv=phv, dropped=False,
                               egress_port=egress, mcast_group=mcast,
-                              module_id=module_id)
+                              module_id=module_id, cache_hit=cache_hit)
+
+    def process(self, packet: Packet) -> PipelineResult:
+        """Push one ingress packet through filter, pipeline, and TM."""
+        early, module_id = self.admit(packet)
+        if early is not None:
+            return early
+        merged, phv = self.execute(packet, module_id)
+        return self.commit(merged, phv, module_id)
 
     def process_many(self, packets: List[Packet]) -> List[PipelineResult]:
         return [self.process(p) for p in packets]

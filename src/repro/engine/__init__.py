@@ -1,0 +1,33 @@
+"""Batched execution engine with per-tenant flow caching.
+
+The scalar path (``pipeline.process`` / ``switch.process``) pushes one
+packet at a time through parser, stages, and deparser. This package adds
+the serving layer a production deployment needs:
+
+* :class:`~repro.engine.batch.BatchEngine` — batched, per-VID-sharded
+  execution over an existing :class:`~repro.core.pipeline.MenshenPipeline`,
+  packet-for-packet identical to the scalar path;
+* :class:`~repro.engine.flow_cache.FlowCache` — exact-match memoization
+  of pure flow transformations, epoch-validated against reconfiguration;
+* engine counters (hits, misses, drops, per-tenant throughput).
+
+Quick start::
+
+    switch = Switch.build().create()
+    ...admit tenants, install entries...
+    engine = switch.engine()            # or BatchEngine(switch.pipeline)
+    results = engine.process_batch(packets)
+    print(engine.counters.hit_rate)
+"""
+
+from .batch import BatchEngine, EngineCounters, EngineTenantCounters
+from .flow_cache import FlowCache, FlowCacheStats, FlowEntry
+
+__all__ = [
+    "BatchEngine",
+    "EngineCounters",
+    "EngineTenantCounters",
+    "FlowCache",
+    "FlowCacheStats",
+    "FlowEntry",
+]

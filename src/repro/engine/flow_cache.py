@@ -1,0 +1,110 @@
+"""Per-tenant exact-match flow cache (the NuevoMatchUp/OVS-megaflow idea).
+
+A :class:`FlowCache` memoizes the *transformation* a module applies to a
+flow: the final PHV and the exact byte rewrites the deparser performed.
+Entries are keyed on the bytes the module's parse program actually reads
+(plus packet length and ingress port — the only other packet inputs the
+pipeline consumes) and stamped with the pipeline's ``config_epoch``; an
+entry learned under an older configuration never hits.
+
+Only *pure* results are admitted: a packet whose execution touched
+stateful memory (``LOAD``/``STORE``/``LOADD``) is not memoizable, because
+replaying it would skip side effects and read stale state. The engine
+detects this with :attr:`repro.rmt.stateful.StatefulMemory.op_count`.
+
+Eviction is LRU with a fixed capacity, so one heavy tenant's flow churn
+cannot grow the cache without bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..rmt.phv import PHV
+
+#: Cache key: (packet length, ingress port, bytes of each parsed region).
+FlowKey = Tuple
+
+
+@dataclass
+class FlowEntry:
+    """One memoized flow result.
+
+    ``writes`` replays the deparser: ``(offset, data)`` pairs applied to a
+    copy of the input packet reproduce the merged output byte-for-byte.
+    ``phv`` is the final PHV snapshot; the per-packet buffer tag is
+    overwritten on every hit, so the snapshot's own tag never leaks.
+    """
+
+    epoch: int
+    phv: PHV
+    writes: Tuple[Tuple[int, bytes], ...]
+    dropped: bool
+
+
+@dataclass
+class FlowCacheStats:
+    """Counters for one tenant's cache shard."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class FlowCache:
+    """LRU exact-match result cache for one tenant (VID)."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[FlowKey, FlowEntry]" = OrderedDict()
+        self.stats = FlowCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: FlowKey, epoch: int) -> Optional[FlowEntry]:
+        """Return the live entry for ``key``, or ``None``.
+
+        An entry stamped with a different epoch is stale: it is removed
+        and counted as a miss (the caller re-learns under the current
+        configuration).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.epoch != epoch:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def insert(self, key: FlowKey, entry: FlowEntry) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = entry
+        self.stats.insertions += 1
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were flushed."""
+        flushed = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += flushed
+        return flushed

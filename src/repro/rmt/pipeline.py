@@ -36,6 +36,11 @@ class PipelineResult:
     mcast_group: int = 0
     module_id: int = 0
     drop_reason: str = ""
+    #: True when the result was served from a flow cache
+    #: (:mod:`repro.engine`) instead of a full pipeline traversal.
+    #: Observability metadata only — cached results are packet-for-packet
+    #: identical to scalar execution in every other field.
+    cache_hit: bool = False
 
     @property
     def forwarded(self) -> bool:
@@ -67,15 +72,25 @@ class RmtPipeline:
         self.packets_out = 0
         self.packets_dropped = 0
 
-    def process(self, packet: Packet) -> PipelineResult:
-        """Push one packet through the pipeline and into the TM."""
-        self.packets_in += 1
-        module_id = self.MODULE_ID
+    def execute(self, packet: Packet,
+                module_id: int = MODULE_ID) -> tuple:
+        """Parse -> stages -> deparse; returns ``(merged, phv)``.
+
+        The same execute phase :class:`repro.core.pipeline.MenshenPipeline`
+        exposes, so batched drivers can treat both pipelines uniformly.
+        """
         buffered = packet.copy()  # the packet buffer's copy (§3.1)
         phv = self.parser.parse(packet, module_id)
         for stage in self.stages:
             phv = stage.process(phv, module_id)
         merged = self.deparser.deparse(phv, buffered, module_id)
+        return merged, phv
+
+    def process(self, packet: Packet) -> PipelineResult:
+        """Push one packet through the pipeline and into the TM."""
+        self.packets_in += 1
+        module_id = self.MODULE_ID
+        merged, phv = self.execute(packet, module_id)
         if merged is None:
             self.packets_dropped += 1
             return PipelineResult(packet=None, phv=phv, dropped=True,

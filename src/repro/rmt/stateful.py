@@ -28,6 +28,16 @@ class StatefulMemory:
         self.read_count = 0
         self.write_count = 0
 
+    @property
+    def op_count(self) -> int:
+        """Total reads + writes ever performed on this memory.
+
+        Batched executors (:mod:`repro.engine`) sample this around a
+        packet's execution to detect stateful side effects: a packet
+        whose processing moved the counter is not memoizable.
+        """
+        return self.read_count + self.write_count
+
     def _check_addr(self, addr: int) -> None:
         if not 0 <= addr < self.words:
             raise FieldRangeError(

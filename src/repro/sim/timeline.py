@@ -90,8 +90,17 @@ class ReconfigTimelineExperiment:
     def __init__(self, pipeline: MenshenPipeline, duration_s: float = 3.0,
                  bin_s: float = 0.1, scale: float = 1000.0,
                  tofino_fast_refresh: bool = False,
-                 fast_refresh_s: float = 50e-3):
+                 fast_refresh_s: float = 50e-3,
+                 engine=None):
         self.pipeline = pipeline
+        #: Optional :class:`repro.engine.BatchEngine` over the same
+        #: pipeline; when set, arrivals are served through it (flow cache
+        #: and all) instead of the scalar path. Results are identical —
+        #: this exists to run the timed Fig. 10 experiment against the
+        #: batched serving layer.
+        self.engine = engine
+        if engine is not None and engine.pipeline is not pipeline:
+            raise ValueError("engine drives a different pipeline")
         self.duration_s = duration_s
         self.bin_s = bin_s
         self.scale = scale
@@ -175,7 +184,9 @@ class ReconfigTimelineExperiment:
                 continue
             packet = traffic.make_packet()
             packet.arrival_time = t
-            result = self.pipeline.process(packet)
+            data_path = self.engine if self.engine is not None \
+                else self.pipeline
+            result = data_path.process(packet)
             if result.forwarded:
                 bits[traffic.module_id][bin_idx] += (
                     traffic.packet_size * 8 * self.scale)

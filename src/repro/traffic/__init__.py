@@ -1,4 +1,16 @@
-"""Traffic generation: MoonGen/Spirent stand-ins for the experiments."""
+"""Traffic and workload subsystem.
+
+Three layers, all seeded and bit-for-bit replayable:
+
+* **packet generation** (:mod:`~repro.traffic.generator`,
+  :mod:`~repro.traffic.workloads`) — raw deterministic streams;
+* **flow structure** (:mod:`~repro.traffic.flows`,
+  :mod:`~repro.traffic.module_workloads`) — uniform/zipf/bursty flow
+  samplers and typed per-module workloads for the eight evaluated
+  modules;
+* **traces** (:mod:`~repro.traffic.pcap`, :mod:`~repro.traffic.replay`)
+  — pcap import/export and replay into pipelines or the batched engine.
+"""
 
 from .generator import PacketGenerator, SizeSweep
 from .workloads import (
@@ -6,7 +18,21 @@ from .workloads import (
     mixed_module_stream,
     fig10_workload,
 )
+from .flows import (
+    BurstyOnOff,
+    FlowSampler,
+    UniformFlows,
+    ZipfFlows,
+    arrival_times,
+)
+from .module_workloads import (
+    ModuleWorkload,
+    all_workloads,
+    flow_stream,
+    workload,
+)
 from .pcap import load_pcap, read_pcap, save_pcap, write_pcap
+from .replay import TraceReplayer
 
 __all__ = [
     "PacketGenerator",
@@ -14,6 +40,16 @@ __all__ = [
     "module_stream",
     "mixed_module_stream",
     "fig10_workload",
+    "FlowSampler",
+    "UniformFlows",
+    "ZipfFlows",
+    "BurstyOnOff",
+    "arrival_times",
+    "ModuleWorkload",
+    "all_workloads",
+    "workload",
+    "flow_stream",
+    "TraceReplayer",
     "load_pcap",
     "read_pcap",
     "save_pcap",

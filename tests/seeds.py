@@ -1,0 +1,22 @@
+"""The single source of randomness for every randomized test.
+
+All seeded tests derive their RNGs from :data:`SEED` via :func:`rng`, so
+
+* a failure reproduces with nothing but the test name (no flaky
+  "sometimes red" runs — the sequence is fixed),
+* changing the global seed to shake out order-dependence is one edit,
+* every test still gets an *independent* stream (the offset), so adding
+  draws to one test never shifts another test's sequence.
+
+Pick offsets per test/class and keep them unique within a file.
+"""
+
+import random
+
+#: The repository-wide test seed. Bump deliberately, never per-test.
+SEED = 20260611
+
+
+def rng(offset: int = 0) -> random.Random:
+    """A fresh, independent ``random.Random`` derived from :data:`SEED`."""
+    return random.Random(SEED + offset)

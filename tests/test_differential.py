@@ -7,8 +7,6 @@ on every packet. This catches integration bugs none of the unit layers
 see (encoding/decoding through reconfiguration packets, PHV allocation,
 key slotting, deparser writeback)."""
 
-import random
-
 import pytest
 
 from repro.core import MenshenPipeline
@@ -16,7 +14,8 @@ from repro.modules import calc, firewall, load_balancer, netcache, qos, source_r
 from repro.net import Ipv4Address
 from repro.runtime import MenshenController
 
-SEED = 20260611
+from seeds import SEED, rng as make_rng  # noqa: F401
+
 ROUNDS = 200
 
 
@@ -31,7 +30,7 @@ class TestCalcDifferential:
     def test_randomized_opcodes_and_operands(self):
         pipe, ctl = fresh(calc)
         calc.install_entries(ctl, 3, port=1)
-        rng = random.Random(SEED)
+        rng = make_rng(0)
         for _ in range(ROUNDS):
             op = rng.choice([calc.OP_ADD, calc.OP_SUB, calc.OP_ECHO, 99])
             a = rng.randrange(1 << 32)
@@ -44,7 +43,7 @@ class TestCalcDifferential:
 class TestFirewallDifferential:
     def test_randomized_acl(self):
         pipe, ctl = fresh(firewall)
-        rng = random.Random(SEED + 1)
+        rng = make_rng(1)
         blocked = [(f"10.0.{rng.randrange(256)}.{rng.randrange(256)}",
                     rng.randrange(1, 65536)) for _ in range(2)]
         allowed = [(f"10.1.{rng.randrange(256)}.{rng.randrange(256)}",
@@ -80,7 +79,7 @@ class TestQosDifferential:
                    (4789, 18), (6081, 10)]
         qos.install_entries(ctl, 3, classes=classes)
         table = dict(classes)
-        rng = random.Random(SEED + 2)
+        rng = make_rng(2)
         ports = [c[0] for c in classes] + [80, 443, 53]
         for _ in range(ROUNDS):
             dport = rng.choice(ports)
@@ -91,7 +90,7 @@ class TestQosDifferential:
 class TestLoadBalancerDifferential:
     def test_randomized_flows(self):
         pipe, ctl = fresh(load_balancer)
-        rng = random.Random(SEED + 3)
+        rng = make_rng(3)
         flows = [(f"10.0.0.{i}", 1000 + i, (i % 7) + 1, 8000 + i)
                  for i in range(4)]
         load_balancer.install_entries(ctl, 3, flows=flows)
@@ -117,7 +116,7 @@ class TestSourceRoutingDifferential:
     def test_randomized_ports_and_tags(self):
         pipe, ctl = fresh(source_routing)
         source_routing.install_entries(ctl, 3)
-        rng = random.Random(SEED + 4)
+        rng = make_rng(4)
         for _ in range(ROUNDS):
             port = rng.randrange(8)
             good_tag = rng.random() < 0.6
@@ -137,7 +136,7 @@ class TestNetcacheDifferential:
         cached = [(0x100 + i, i, 1000 + i) for i in range(4)]
         netcache.install_entries(ctl, 3, cached=cached)
         store = {key: value for key, _slot, value in cached}
-        rng = random.Random(SEED + 5)
+        rng = make_rng(5)
         expected_ops = 0
         for _ in range(ROUNDS):
             if rng.random() < 0.6:
