@@ -12,7 +12,7 @@ import pathlib
 import sys
 
 from conftest import report
-from repro.api import Switch
+from repro.api import Switch, Tenant
 from repro.core import MenshenPipeline
 from repro.engine import BatchEngine
 from repro.modules import (
@@ -35,12 +35,12 @@ def _trio_a():
     pipe = MenshenPipeline()
     ctl = MenshenController(pipe)
     ctl.load_module(1, calc.P4_SOURCE, "calc")
-    calc.install_entries(ctl, 1, port=1)
+    calc.install(Tenant.attach(ctl, 1), port=1)
     ctl.load_module(2, firewall.P4_SOURCE, "firewall")
-    firewall.install_entries(ctl, 2, blocked=[("10.0.0.66", 53)],
+    firewall.install(Tenant.attach(ctl, 2), blocked=[("10.0.0.66", 53)],
                              allowed=[("10.0.0.1", 80, 4)])
     ctl.load_module(3, netcache.P4_SOURCE, "netcache")
-    netcache.install_entries(ctl, 3, cached=[(0xAAAA, 0, 42)])
+    netcache.install(Tenant.attach(ctl, 3), cached=[(0xAAAA, 0, 42)])
     return pipe, ctl
 
 
@@ -48,12 +48,12 @@ def _trio_b():
     pipe = MenshenPipeline()
     ctl = MenshenController(pipe)
     ctl.load_module(1, load_balancer.P4_SOURCE, "lb")
-    load_balancer.install_entries(ctl, 1,
+    load_balancer.install(Tenant.attach(ctl, 1),
                                   flows=[("10.0.0.1", 1111, 2, 8001)])
     ctl.load_module(2, source_routing.P4_SOURCE, "srcroute")
-    source_routing.install_entries(ctl, 2)
+    source_routing.install(Tenant.attach(ctl, 2))
     ctl.load_module(3, netchain.P4_SOURCE, "netchain")
-    netchain.install_entries(ctl, 3, port=6)
+    netchain.install(Tenant.attach(ctl, 3), port=6)
     return pipe, ctl
 
 

@@ -36,7 +36,7 @@ def test_pifo_bandwidth_isolation(benchmark):
         if tm_kind == "pifo":
             tm = PifoTrafficManager(num_ports=1,
                                     weights={1: 1.0, 2: 1.0, 9: 1.0})
-            enq = lambda vid: tm.enqueue(_packet(200, vid), 0, vid)
+            enq = lambda vid: tm.enqueue(_packet(200, vid), 0, module_id=vid)
         else:
             tm = TrafficManager(num_ports=1)
             enq = lambda vid: tm.enqueue(_packet(200, vid), 0)

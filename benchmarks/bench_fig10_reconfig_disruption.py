@@ -11,6 +11,7 @@ baseline stalls everyone (~50 ms) instead.
 from __future__ import annotations
 
 from conftest import report
+from repro.api import Tenant
 from repro.core import MenshenPipeline
 from repro.modules import calc
 from repro.runtime import MenshenController
@@ -26,7 +27,7 @@ def _build(tofino: bool = False):
     ctl = MenshenController(pipe)
     for vid in (1, 2, 3):
         ctl.load_module(vid, calc.P4_SOURCE, f"calc{vid}")
-        calc.install_entries(ctl, vid, port=vid)
+        calc.install(Tenant.attach(ctl, vid), port=vid)
     exp = ReconfigTimelineExperiment(pipe, duration_s=3.0, bin_s=0.1,
                                      scale=1000.0,
                                      tofino_fast_refresh=tofino)

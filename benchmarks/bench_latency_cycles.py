@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from conftest import report
+from repro.api import Tenant
 from repro.core import MenshenPipeline
 from repro.modules import calc
 from repro.runtime import MenshenController
@@ -52,7 +53,7 @@ def test_behavioral_pipeline_packet_rate(benchmark):
     pipe = MenshenPipeline()
     ctl = MenshenController(pipe)
     ctl.load_module(1, calc.P4_SOURCE, "calc")
-    calc.install_entries(ctl, 1)
+    calc.install(Tenant.attach(ctl, 1))
     packet = calc.make_packet(1, calc.OP_ADD, 3, 4)
 
     def forward():

@@ -28,7 +28,7 @@ from ..errors import (
     TenantIsolationError,
     TransactionError,
 )
-from ..engine import BatchEngine, EngineCounters
+from ..engine import BatchEngine, EgressScheduler, EngineCounters
 from ..rmt.entry_types import ActionCall, Exact, Match, TableEntry, Ternary
 from .diagnostics import CompileResult, Diagnostic, StageUsage, compile
 from .switch import (
@@ -67,6 +67,7 @@ __all__ = [
     # batched serving
     "BatchEngine",
     "EngineCounters",
+    "EgressScheduler",
     # errors
     "TenantIsolationError",
     "TransactionError",

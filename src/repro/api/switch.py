@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 from ..compiler.target import TargetDescription
 from ..core.pipeline import SYSTEM_MODULE_ID, MenshenPipeline
 from ..engine.batch import BatchEngine
+from ..engine.scheduler import EgressScheduler, SchedulerTenantCounters
 from ..errors import (
     AdmissionError,
     RuntimeInterfaceError,
@@ -47,12 +48,23 @@ ActionLike = Union[ActionCall, str]
 @dataclass(frozen=True)
 class TenantCounters:
     """Per-tenant data-plane counters (the system-level statistics a
-    tenant may read but never write)."""
+    tenant may read but never write).
+
+    The egress fields are fed by the
+    :class:`~repro.engine.scheduler.EgressScheduler` when one is
+    installed (``switch.engine()`` does so by default) and stay zero on
+    a pure-FIFO switch: ``egress_bytes_tx`` counts bytes actually
+    transmitted on output links (dequeue-time semantics — queued is not
+    transmitted), ``egress_queue_depth`` is the live §3.3 queue-length
+    gauge for this tenant.
+    """
 
     packets_in: int
     packets_out: int
     packets_dropped: int
     bytes_out: int
+    egress_bytes_tx: int = 0
+    egress_queue_depth: int = 0
 
 
 class SwitchBuilder:
@@ -195,6 +207,11 @@ class Switch:
         self._controller = controller
         self._tenants: Dict[int, Tenant] = {}
         self._engines: List[BatchEngine] = []
+        #: Per-tenant egress configuration, kept here so weights and
+        #: rate limits set before the scheduler exists apply the moment
+        #: one is installed (and survive a scheduler swap).
+        self._egress_weights: Dict[int, float] = {}
+        self._egress_rates: Dict[int, Tuple[float, Optional[float]]] = {}
 
     @staticmethod
     def build() -> SwitchBuilder:
@@ -294,7 +311,9 @@ class Switch:
         return self.pipeline.process_many(packets)
 
     def engine(self, cache_capacity: int = 4096,
-               enable_cache: bool = True) -> BatchEngine:
+               enable_cache: bool = True, scheduled: bool = True,
+               line_rate_bps: Optional[float] = None,
+               egress_queue_capacity: Optional[int] = None) -> BatchEngine:
         """A batched execution engine over this switch's pipeline.
 
         Engines obtained here are registered with the switch, so every
@@ -302,11 +321,79 @@ class Switch:
         ``tenant.update``, ``tenant.evict``) flushes the affected
         tenant's flow-cache shard the moment it commits — on top of the
         epoch check that already invalidates stale entries.
+
+        By default (``scheduled=True``) the switch's egress is routed
+        through a weighted-fair :class:`~repro.engine.scheduler.
+        EgressScheduler` instead of per-port FIFOs, so one bursty tenant
+        can no longer starve the others on a shared output link.
+        Configure it per tenant via :meth:`Tenant.set_weight` /
+        :meth:`Tenant.set_rate_limit`; ``line_rate_bps`` gives the
+        scheduler a transmission clock (needed for rate caps and the
+        timeline's latency measurements). ``scheduled=False`` keeps the
+        legacy FIFO path.
         """
+        if scheduled:
+            self.install_egress_scheduler(
+                line_rate_bps=line_rate_bps,
+                queue_capacity=egress_queue_capacity)
         engine = BatchEngine(self.pipeline, cache_capacity=cache_capacity,
                              enable_cache=enable_cache)
         self._engines.append(engine)
         return engine
+
+    @property
+    def egress_scheduler(self) -> Optional[EgressScheduler]:
+        """The installed egress scheduler, if any."""
+        tm = self.pipeline.traffic_manager
+        return tm if isinstance(tm, EgressScheduler) else None
+
+    def install_egress_scheduler(self, line_rate_bps: Optional[float] = None,
+                                 queue_capacity: Optional[int] = None
+                                 ) -> EgressScheduler:
+        """Swap the pipeline's FIFO traffic manager for a weighted-fair
+        :class:`~repro.engine.scheduler.EgressScheduler`.
+
+        Idempotent: an already-installed scheduler is kept (its line
+        rate is upgraded if one is supplied here and none was set).
+        Multicast groups and any queued packets carry over; pending
+        per-tenant weights and rate limits recorded through tenant
+        handles are applied.
+        """
+        old = self.pipeline.traffic_manager
+        scheduler = self.egress_scheduler
+        if scheduler is None:
+            scheduler = EgressScheduler(
+                num_ports=old.num_ports,
+                queue_capacity=(queue_capacity if queue_capacity is not None
+                                else old.queue_capacity),
+                line_rate_bps=line_rate_bps,
+                stats=self.pipeline.stats)
+            from ..rmt.parser import extract_module_id
+
+            def vid_of(packet) -> int:
+                # Everything the pipeline forwarded carries a VLAN tag;
+                # hand-enqueued odd packets fall back to the system VID.
+                try:
+                    return extract_module_id(packet)
+                except Exception:
+                    return 0
+
+            for group_id, ports in old.mcast_groups().items():
+                scheduler.set_mcast_group(group_id, ports)
+            for port, packets in old.drain_all().items():
+                for packet in packets:
+                    # Re-attribute from the 802.1Q tag so carried-over
+                    # packets keep their owner's weight, rate limit,
+                    # and queue-depth accounting.
+                    scheduler.enqueue(packet, port, module_id=vid_of(packet))
+            self.pipeline.traffic_manager = scheduler
+        elif line_rate_bps is not None and scheduler.line_rate_bps is None:
+            scheduler.line_rate_bps = line_rate_bps
+        for vid, weight in self._egress_weights.items():
+            scheduler.set_weight(vid, weight)
+        for vid, (rate, burst) in self._egress_rates.items():
+            scheduler.set_rate_limit(vid, rate, burst)
+        return scheduler
 
     def _notify_reconfigured(self, vid: int) -> None:
         """Flush attached engines' cached flows for one tenant."""
@@ -420,7 +507,66 @@ class Tenant:
             packets_in=stats.per_module_in[self._vid],
             packets_out=stats.per_module_out[self._vid],
             packets_dropped=stats.per_module_dropped[self._vid],
-            bytes_out=stats.per_module_bytes_out[self._vid])
+            bytes_out=stats.per_module_bytes_out[self._vid],
+            egress_bytes_tx=stats.egress_bytes_tx.get(self._vid, 0),
+            egress_queue_depth=stats.egress_queue_depth.get(self._vid, 0))
+
+    # -- egress scheduling ---------------------------------------------------------
+
+    def set_weight(self, weight: float) -> "Tenant":
+        """This tenant's weighted-fair share of every output link.
+
+        Backlogged tenants divide each port's bandwidth in proportion
+        to their weights (STFQ ranks in the egress scheduler), so a
+        bursty neighbor can no longer starve this tenant — §3.5's PIFO
+        suggestion made default. Takes effect immediately on the
+        installed scheduler and persists across scheduler swaps; set
+        before ``switch.engine()`` it simply applies at installation.
+        """
+        if weight <= 0:
+            raise ValueError(
+                f"tenant {self._vid}: weight must be positive, got {weight}")
+        self._switch._egress_weights[self._vid] = float(weight)
+        scheduler = self._switch.egress_scheduler
+        if scheduler is not None:
+            scheduler.set_weight(self._vid, weight)
+        return self
+
+    def set_rate_limit(self, rate_bytes_per_s: float,
+                       burst_bytes: Optional[float] = None) -> "Tenant":
+        """Token-bucket cap on this tenant's egress throughput.
+
+        ``rate_bytes_per_s`` refills the bucket against the scheduler's
+        virtual clock; ``burst_bytes`` bounds how far it can save up
+        (default: one second's worth, floored at one MTU).
+        """
+        if rate_bytes_per_s <= 0:
+            raise ValueError(
+                f"tenant {self._vid}: rate must be positive, "
+                f"got {rate_bytes_per_s}")
+        self._switch._egress_rates[self._vid] = (float(rate_bytes_per_s),
+                                                 burst_bytes)
+        scheduler = self._switch.egress_scheduler
+        if scheduler is not None:
+            scheduler.set_rate_limit(self._vid, rate_bytes_per_s,
+                                     burst_bytes)
+        return self
+
+    def clear_rate_limit(self) -> "Tenant":
+        """Remove this tenant's egress rate cap."""
+        self._switch._egress_rates.pop(self._vid, None)
+        scheduler = self._switch.egress_scheduler
+        if scheduler is not None:
+            scheduler.clear_rate_limit(self._vid)
+        return self
+
+    def scheduler_counters(self) -> SchedulerTenantCounters:
+        """This tenant's egress-scheduler counters (zeros if the switch
+        still runs the plain FIFO traffic manager)."""
+        scheduler = self._switch.egress_scheduler
+        if scheduler is None:
+            return SchedulerTenantCounters()
+        return scheduler.tenant(self._vid)
 
     def stats(self) -> Dict[str, object]:
         """Placement + usage + traffic in one structured report."""
@@ -430,7 +576,7 @@ class Tenant:
                     "stateful_words": (alloc.stateful_base,
                                        alloc.stateful_end)}
             for stage, alloc in loaded.allocation.stages.items()}
-        return {
+        report = {
             "vid": self._vid,
             "name": self._name,
             "stages": loaded.compiled.stages_used(),
@@ -439,6 +585,15 @@ class Tenant:
             "partitions": partitions,
             "counters": self.counters(),
         }
+        scheduler = self._switch.egress_scheduler
+        if scheduler is not None:
+            report["egress"] = {
+                "weight": scheduler.weight_of(self._vid),
+                "rate_limit_bytes_per_s": scheduler.rate_limit_of(self._vid),
+                "queue_depth": scheduler.queue_depth(self._vid),
+                "scheduler": scheduler.tenant(self._vid),
+            }
+        return report
 
     # -- lifecycle -----------------------------------------------------------------
 

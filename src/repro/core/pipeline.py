@@ -256,7 +256,8 @@ class MenshenPipeline:
                                   cache_hit=cache_hit)
         egress = phv.metadata.dst_port
         mcast = phv.metadata.mcast_group
-        self.traffic_manager.enqueue(merged, egress, mcast)
+        self.traffic_manager.enqueue(merged, egress, mcast,
+                                     module_id=module_id)
         self.stats.record_out(module_id, len(merged))
         return PipelineResult(packet=merged, phv=phv, dropped=False,
                               egress_port=egress, mcast_group=mcast,

@@ -26,6 +26,13 @@ class PipelineStats:
         self.per_module_dropped: Dict[int, int] = defaultdict(int)
         self.per_module_bytes_out: Dict[int, int] = defaultdict(int)
         self.drop_reasons: Dict[str, int] = defaultdict(int)
+        #: Egress-scheduler telemetry (fed by
+        #: :class:`repro.engine.scheduler.EgressScheduler` when one is
+        #: installed): per-tenant bytes actually transmitted on the
+        #: output links, and a live queue-depth gauge — the §3.3
+        #: "queue length" statistic, now per tenant.
+        self.egress_bytes_tx: Dict[int, int] = defaultdict(int)
+        self.egress_queue_depth: Dict[int, int] = defaultdict(int)
 
     def record_in(self, module_id: int) -> None:
         self.packets_in += 1
@@ -43,6 +50,14 @@ class PipelineStats:
 
     def record_reconfig(self) -> None:
         self.reconfig_packets += 1
+
+    def record_egress_tx(self, module_id: int, nbytes: int) -> None:
+        """One packet of ``module_id`` left an output link."""
+        self.egress_bytes_tx[module_id] += nbytes
+
+    def set_egress_depth(self, module_id: int, depth: int) -> None:
+        """Update the per-tenant egress queue-depth gauge."""
+        self.egress_queue_depth[module_id] = depth
 
     def link_utilization(self, module_id: int, elapsed_s: float,
                          link_bps: float) -> float:

@@ -9,6 +9,9 @@ the serving layer a production deployment needs:
   packet-for-packet identical to the scalar path;
 * :class:`~repro.engine.flow_cache.FlowCache` — exact-match memoization
   of pure flow transformations, epoch-validated against reconfiguration;
+* :class:`~repro.engine.scheduler.EgressScheduler` — weighted-fair
+  (PIFO/STFQ) egress with per-tenant token-bucket rate limiting, the
+  batched path's default traffic manager (§3.5 bandwidth isolation);
 * engine counters (hits, misses, drops, per-tenant throughput).
 
 Quick start::
@@ -22,6 +25,12 @@ Quick start::
 
 from .batch import BatchEngine, EngineCounters, EngineTenantCounters
 from .flow_cache import FlowCache, FlowCacheStats, FlowEntry
+from .scheduler import (
+    Departure,
+    EgressScheduler,
+    SchedulerTenantCounters,
+    TokenBucket,
+)
 
 __all__ = [
     "BatchEngine",
@@ -30,4 +39,8 @@ __all__ = [
     "FlowCache",
     "FlowCacheStats",
     "FlowEntry",
+    "EgressScheduler",
+    "SchedulerTenantCounters",
+    "TokenBucket",
+    "Departure",
 ]

@@ -1,10 +1,21 @@
 """Dominant Resource Fairness admission policy (Ghodsi et al., NSDI'11).
 
 Admission-control flavor of DRF: a module is admitted if (a) its demand
-fits the remaining capacity, and (b) after admission its dominant share
-would not exceed ``fair_cap`` — a configurable multiple of the equal
-share ``1/expected_tenants``. This prevents one tenant from monopolizing
-the scarcest resource while still allowing heterogeneous demands.
+fits the remaining capacity, and (b) after admission the *cumulative*
+dominant share of its owner — everything that owner already holds, plus
+this demand — would not exceed ``fair_cap``, a configurable multiple of
+the equal share ``1/expected_tenants``. This prevents one tenant from
+monopolizing the scarcest resource while still allowing heterogeneous
+demands.
+
+Evaluating only the incoming request in isolation (the original
+behavior) is unsound: an owner admitting many modules, each
+individually under ``fair_cap``, accumulates a cumulative dominant
+share bounded by nothing but raw capacity — exactly the monopolization
+DRF exists to prevent. ``admit`` therefore charges every module to an
+``owner`` (defaulting to the module's own ID, so single-module tenants
+behave as before) and enforces the cap on the owner's post-admission
+total.
 """
 
 from __future__ import annotations
@@ -17,17 +28,19 @@ from .base import PolicyState, capacity_vector, demand_vector
 
 
 class DrfPolicy:
-    """DRF-style admission control."""
+    """DRF-style admission control with per-owner cumulative caps."""
 
     def __init__(self, params: HardwareParams = DEFAULT_PARAMS,
                  expected_tenants: int = 8, fairness_slack: float = 2.0):
         self.state = PolicyState(capacity=capacity_vector(params))
         self.expected_tenants = expected_tenants
         self.fairness_slack = fairness_slack
+        #: module_id -> owner it is charged to.
+        self._owner_of: Dict[int, int] = {}
 
     @property
     def fair_cap(self) -> float:
-        """Maximum dominant share one module may take."""
+        """Maximum cumulative dominant share one owner may take."""
         return min(1.0, self.fairness_slack / self.expected_tenants)
 
     def dominant_share_of(self, demand: Dict[str, float]) -> float:
@@ -35,20 +48,39 @@ class DrfPolicy:
                   for r, c in self.state.capacity.items() if c > 0]
         return max(shares) if shares else 0.0
 
+    def owner_usage(self, owner: int) -> Dict[str, float]:
+        """Summed demand vectors of every module charged to ``owner``."""
+        total: Dict[str, float] = {}
+        for module_id, module_owner in self._owner_of.items():
+            if module_owner != owner:
+                continue
+            for resource, amount in self.state.usage[module_id].items():
+                total[resource] = total.get(resource, 0.0) + amount
+        return total
+
+    def owner_dominant_share(self, owner: int) -> float:
+        return self.dominant_share_of(self.owner_usage(owner))
+
     # -- the controller's policy hook ------------------------------------------
 
     def admit(self, module_id: int, request: ResourceRequest,
-              ledger=None) -> bool:
+              ledger=None, owner: Optional[int] = None) -> bool:
         demand = demand_vector(request)
         if not self.state.fits(demand):
             return False
-        if self.dominant_share_of(demand) > self.fair_cap:
+        owner = module_id if owner is None else owner
+        cumulative = self.owner_usage(owner)
+        for resource, amount in demand.items():
+            cumulative[resource] = cumulative.get(resource, 0.0) + amount
+        if self.dominant_share_of(cumulative) > self.fair_cap:
             return False
         self.state.record(module_id, demand)
+        self._owner_of[module_id] = owner
         return True
 
     def release(self, module_id: int) -> None:
         self.state.release(module_id)
+        self._owner_of.pop(module_id, None)
 
     def dominant_shares(self) -> Dict[int, float]:
         return {m: self.state.dominant_share(m) for m in self.state.usage}

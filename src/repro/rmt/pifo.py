@@ -127,7 +127,19 @@ class PifoTrafficManager:
             raise ConfigError(
                 f"port {port} out of range [0, {self.num_ports})")
 
-    def enqueue(self, packet: Packet, port: int, module_id: int) -> bool:
+    def enqueue(self, packet: Packet, port: int, mcast_group: int = 0,
+                module_id: int = 0) -> bool:
+        """Queue one packet under ``module_id``'s rank.
+
+        Argument order matches the pipeline TM contract
+        (``enqueue(packet, port, mcast_group, module_id)``) so this
+        class really is a drop-in ``pipeline.traffic_manager``;
+        multicast replication is not modeled here — use
+        :class:`repro.engine.scheduler.EgressScheduler` for that.
+        """
+        if mcast_group:
+            raise ConfigError(
+                "PifoTrafficManager does not model multicast replication")
         self._check_port(port)
         rank = self._rankers[port].rank(module_id, len(packet))
         ok = self._queues[port].push(
@@ -136,8 +148,10 @@ class PifoTrafficManager:
             self.enqueued += 1
         return ok
 
-    def dequeue(self, port: int) -> Optional[Packet]:
-        self._check_port(port)
+    def _pop(self, port: int) -> Optional[_Tagged]:
+        """Dequeue-time bookkeeping shared by every service path:
+        ``bytes_out_per_module`` counts packets when they are *served*,
+        never while they merely sit queued."""
         tagged = self._queues[port].pop()
         if tagged is None:
             return None
@@ -146,19 +160,22 @@ class PifoTrafficManager:
         self.bytes_out_per_module[tagged.module_id] = (
             self.bytes_out_per_module.get(tagged.module_id, 0)
             + len(tagged.packet))
-        return tagged.packet
+        return tagged
+
+    def dequeue(self, port: int) -> Optional[Packet]:
+        self._check_port(port)
+        tagged = self._pop(port)
+        return tagged.packet if tagged is not None else None
 
     def drain_bytes(self, port: int, budget_bytes: int) -> Dict[int, int]:
         """Serve up to ``budget_bytes`` from a port; returns per-module
         bytes served — the measurement the fairness tests assert on."""
+        self._check_port(port)
         served: Dict[int, int] = {}
         while budget_bytes > 0:
-            queue = self._queues[port]
-            if not len(queue):
+            tagged = self._pop(port)
+            if tagged is None:
                 break
-            tagged = queue.pop()
-            self._rankers[port].on_dequeue(tagged.rank)
-            self.dequeued += 1
             size = len(tagged.packet)
             served[tagged.module_id] = served.get(tagged.module_id, 0) + size
             budget_bytes -= size

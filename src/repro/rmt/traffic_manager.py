@@ -43,6 +43,11 @@ class TrafficManager:
     def mcast_ports(self, group_id: int) -> List[int]:
         return list(self._mcast_groups.get(group_id, []))
 
+    def mcast_groups(self) -> Dict[int, List[int]]:
+        """All configured groups (so a replacement TM can adopt them)."""
+        return {gid: list(ports)
+                for gid, ports in self._mcast_groups.items()}
+
     # -- queueing ---------------------------------------------------------------
 
     def _check_port(self, port: int) -> None:
@@ -56,16 +61,16 @@ class TrafficManager:
             return False
         queue.append(packet)
         self.enqueued += 1
-        self.bytes_out[port] += len(packet)
         return True
 
     def enqueue(self, packet: Packet, port: int,
-                mcast_group: int = 0) -> int:
+                mcast_group: int = 0, module_id: int = 0) -> int:
         """Queue a packet for transmission; returns copies enqueued.
 
         ``mcast_group > 0`` replicates the packet to every port in the
         group (each replica is an independent copy); otherwise the packet
-        goes to ``port``.
+        goes to ``port``. ``module_id`` names the owning tenant; the
+        FIFO manager ignores it (scheduled managers rank on it).
         """
         if mcast_group:
             ports = self._mcast_groups.get(mcast_group)
@@ -86,7 +91,13 @@ class TrafficManager:
         if not queue:
             return None
         self.dequeued += 1
-        return queue.popleft()
+        packet = queue.popleft()
+        # Transmitted-byte telemetry counts at dequeue: a packet still
+        # sitting in (or dropped from) the queue was never transmitted,
+        # and the system module's "real-time statistics" (§3.3) must not
+        # claim it was.
+        self.bytes_out[port] += len(packet)
+        return packet
 
     def drain(self, port: int) -> List[Packet]:
         """Dequeue everything waiting on ``port``."""

@@ -243,6 +243,7 @@ class MenshenController:
             source, old.name, CompilerOptions(target=self.compile_target()))
         self._teardown(old)
         self.pipeline.ledger.revoke(module_id)
+        self._policy_release(module_id)
         del self.modules[module_id]
         loaded = self._install(module_id, old.name, compiled)
         self.modules[module_id] = loaded
@@ -254,7 +255,20 @@ class MenshenController:
         loaded = self.modules.pop(module_id)
         self._teardown(loaded)
         self.pipeline.ledger.revoke(module_id)
+        self._policy_release(module_id)
         self.pipeline.mark_unloaded(module_id)
+
+    def _policy_release(self, module_id: int) -> None:
+        """Return a module's demand to the admission policy's ledger.
+
+        Without this, a stateful policy (DRF, first-fit) keeps charging
+        for evicted modules forever — and rejects a reloaded VID as a
+        duplicate. Policies without bookkeeping (``AlwaysAdmit``,
+        ad-hoc test doubles) simply have no ``release``.
+        """
+        release = getattr(self.policy, "release", None)
+        if release is not None:
+            release(module_id)
 
     # ------------------------------------------------------------------ install
 
@@ -372,8 +386,10 @@ class MenshenController:
                     f"kept getting lost after {self.max_load_retries} "
                     f"attempts")
         except BaseException:
-            # Don't leak the partition grant on a failed install.
+            # Don't leak the partition grant (or the admission policy's
+            # charge) on a failed install.
             self.pipeline.ledger.revoke(module_id)
+            self._policy_release(module_id)
             raise
         finally:
             self.interface.clear_module_updating(module_id)

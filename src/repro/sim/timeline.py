@@ -57,7 +57,8 @@ class ReconfigEvent:
 
 @dataclass
 class TimelineResult:
-    """Binned per-module throughput."""
+    """Binned per-module throughput (and, when the pipeline egress is
+    scheduled, per-module departure latencies)."""
 
     bin_s: float
     bins: List[float]
@@ -65,6 +66,19 @@ class TimelineResult:
     throughput_gbps: Dict[int, List[float]]
     offered_gbps: Dict[int, float]
     drops: Dict[int, int]
+    #: module_id -> per-packet egress latencies (departure − arrival),
+    #: seconds. Populated only when the pipeline's traffic manager is an
+    #: :class:`~repro.engine.scheduler.EgressScheduler` with a line
+    #: rate — the FIFO path has no departure clock to measure against.
+    latencies_s: Dict[int, List[float]] = field(default_factory=dict)
+
+    def mean_latency_s(self, module_id: int) -> float:
+        values = self.latencies_s.get(module_id, [])
+        return sum(values) / len(values) if values else 0.0
+
+    def max_latency_s(self, module_id: int) -> float:
+        values = self.latencies_s.get(module_id, [])
+        return max(values) if values else 0.0
 
     def series(self, module_id: int) -> List[Tuple[float, float]]:
         return list(zip(self.bins, self.throughput_gbps[module_id]))
@@ -140,11 +154,23 @@ class ReconfigTimelineExperiment:
         return arrivals
 
     def run(self) -> TimelineResult:
+        from ..engine.scheduler import EgressScheduler
+
         num_bins = int(round(self.duration_s / self.bin_s))
         bins = [i * self.bin_s for i in range(num_bins)]
         bits: Dict[int, List[float]] = {
             t.module_id: [0.0] * num_bins for t in self.traffic}
         drops: Dict[int, int] = {t.module_id: 0 for t in self.traffic}
+        # Egress departures: when the pipeline's TM is a scheduler with
+        # a transmission clock, drive it alongside the arrivals and
+        # collect per-module (departure − arrival) latencies.
+        tm = self.pipeline.traffic_manager
+        scheduler = tm if isinstance(tm, EgressScheduler) else None
+        latencies: Dict[int, List[float]] = {}
+
+        def collect(departures) -> None:
+            for dep in departures:
+                latencies.setdefault(dep.module_id, []).append(dep.latency)
 
         # Reconfiguration windows, expanded for the Tofino baseline.
         windows: List[Tuple[float, float, Optional[int], ReconfigEvent]] = []
@@ -186,6 +212,12 @@ class ReconfigTimelineExperiment:
             packet.arrival_time = t
             data_path = self.engine if self.engine is not None \
                 else self.pipeline
+            # Advance the egress clock to the arrival instant *before*
+            # delivering the packet: transmissions that complete by ``t``
+            # depart, and the new arrival can never be served at a clock
+            # earlier than its own arrival time.
+            if scheduler is not None:
+                collect(scheduler.advance_to(t))
             result = data_path.process(packet)
             if result.forwarded:
                 bits[traffic.module_id][bin_idx] += (
@@ -199,6 +231,14 @@ class ReconfigTimelineExperiment:
                     .is_module_updating(target):
                 self.pipeline.packet_filter.clear_module_updating(target)
 
+        # Let the egress backlog finish transmitting so tail latencies
+        # are measured, not truncated (rate caps keep the clock honest:
+        # each window either serves packets or moves eligibility closer).
+        if scheduler is not None:
+            collect(scheduler.advance_to(self.duration_s))
+            while scheduler.total_queued():
+                collect(scheduler.advance_to(scheduler.clock + self.bin_s))
+
         throughput = {
             m: [b / self.bin_s / 1e9 for b in series]
             for m, series in bits.items()
@@ -207,4 +247,4 @@ class ReconfigTimelineExperiment:
             bin_s=self.bin_s, bins=bins, throughput_gbps=throughput,
             offered_gbps={t.module_id: t.offered_bps / 1e9
                           for t in self.traffic},
-            drops=drops)
+            drops=drops, latencies_s=latencies)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 
 class FlowSampler:
@@ -91,13 +91,15 @@ class BurstyOnOff:
 
 
 def arrival_times(rng: random.Random, count: int, rate_pps: float,
-                  bursts: "BurstyOnOff" = None) -> List[float]:
+                  bursts: Optional[BurstyOnOff] = None) -> List[float]:
     """``count`` arrival timestamps at ``rate_pps`` mean rate.
 
     Without ``bursts``: evenly spaced. With ``bursts``: slots are gated
     by the on/off process, so packets cluster into bursts while the
     long-run average rate stays ``rate_pps`` times the duty cycle.
     """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
     if rate_pps <= 0:
         raise ValueError(f"rate must be positive, got {rate_pps}")
     gap = 1.0 / rate_pps

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import Tenant
 from repro.compiler import CompilerOptions, compile_module_group
 from repro.compiler.target import TargetDescription
 from repro.core import MenshenPipeline
@@ -83,7 +84,7 @@ class TestGroupEndToEnd:
                       "op_add", {"port": 2})
         # Another plain calc tenant shares the pipeline.
         ctl.load_module(6, calc.P4_SOURCE, "tenant6")
-        calc.install_entries(ctl, 6, port=3)
+        calc.install(Tenant.attach(ctl, 6), port=3)
 
         r5 = pipe.process(calc.make_packet(5, calc.OP_ADD, 1, 1))
         r6 = pipe.process(calc.make_packet(6, calc.OP_ADD, 1, 1))

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import Tenant
 from repro.core import MenshenPipeline
 from repro.errors import CompilerError, RuntimeInterfaceError
 from repro.modules import firewall
@@ -18,7 +19,7 @@ class TestDefaultActions:
         pipe = MenshenPipeline(enable_default_actions=True)
         ctl = MenshenController(pipe)
         ctl.load_module(2, DEFAULT_DENY_SOURCE, "fw-deny")
-        firewall.install_entries(ctl, 2, allowed=[("10.0.0.1", 80, 3)])
+        firewall.install(Tenant.attach(ctl, 2), allowed=[("10.0.0.1", 80, 3)])
         # Explicitly allowed traffic flows...
         allowed = pipe.process(firewall.make_packet(2, "10.0.0.1", 80))
         assert allowed.forwarded and allowed.egress_port == 3

@@ -9,6 +9,7 @@ key slotting, deparser writeback)."""
 
 import pytest
 
+from repro.api import Tenant
 from repro.core import MenshenPipeline
 from repro.modules import calc, firewall, load_balancer, netcache, qos, source_routing
 from repro.net import Ipv4Address
@@ -29,7 +30,7 @@ def fresh(module, vid=3, **pipeline_kw):
 class TestCalcDifferential:
     def test_randomized_opcodes_and_operands(self):
         pipe, ctl = fresh(calc)
-        calc.install_entries(ctl, 3, port=1)
+        calc.install(Tenant.attach(ctl, 3), port=1)
         rng = make_rng(0)
         for _ in range(ROUNDS):
             op = rng.choice([calc.OP_ADD, calc.OP_SUB, calc.OP_ECHO, 99])
@@ -49,7 +50,7 @@ class TestFirewallDifferential:
         allowed = [(f"10.1.{rng.randrange(256)}.{rng.randrange(256)}",
                     rng.randrange(1, 65536), rng.randrange(1, 8))
                    for _ in range(2)]
-        firewall.install_entries(ctl, 3, blocked=blocked, allowed=allowed)
+        firewall.install(Tenant.attach(ctl, 3), blocked=blocked, allowed=allowed)
 
         def golden(src, dport):
             if (src, dport) in blocked:
@@ -77,7 +78,7 @@ class TestQosDifferential:
         pipe, ctl = fresh(qos)
         classes = [(5060, qos.DSCP_EF), (8801, qos.DSCP_AF41),
                    (4789, 18), (6081, 10)]
-        qos.install_entries(ctl, 3, classes=classes)
+        qos.install(Tenant.attach(ctl, 3), classes=classes)
         table = dict(classes)
         rng = make_rng(2)
         ports = [c[0] for c in classes] + [80, 443, 53]
@@ -93,7 +94,7 @@ class TestLoadBalancerDifferential:
         rng = make_rng(3)
         flows = [(f"10.0.0.{i}", 1000 + i, (i % 7) + 1, 8000 + i)
                  for i in range(4)]
-        load_balancer.install_entries(ctl, 3, flows=flows)
+        load_balancer.install(Tenant.attach(ctl, 3), flows=flows)
         table = {(Ipv4Address(src).value, sport): (port, dport)
                  for src, sport, port, dport in flows}
         for _ in range(ROUNDS):
@@ -115,7 +116,7 @@ class TestLoadBalancerDifferential:
 class TestSourceRoutingDifferential:
     def test_randomized_ports_and_tags(self):
         pipe, ctl = fresh(source_routing)
-        source_routing.install_entries(ctl, 3)
+        source_routing.install(Tenant.attach(ctl, 3))
         rng = make_rng(4)
         for _ in range(ROUNDS):
             port = rng.randrange(8)
@@ -134,7 +135,7 @@ class TestNetcacheDifferential:
     def test_randomized_gets_with_shadow_store(self):
         pipe, ctl = fresh(netcache)
         cached = [(0x100 + i, i, 1000 + i) for i in range(4)]
-        netcache.install_entries(ctl, 3, cached=cached)
+        netcache.install(Tenant.attach(ctl, 3), cached=cached)
         store = {key: value for key, _slot, value in cached}
         rng = make_rng(5)
         expected_ops = 0

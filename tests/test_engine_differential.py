@@ -61,8 +61,21 @@ def assert_equivalent(scalar_results, engine_results, context=""):
             assert a.phv == b.phv, f"{where}: PHV diverged"
 
 
+def _vid_of(packet_bytes):
+    """Tenant VID from the 802.1Q tag of raw packet bytes."""
+    return int.from_bytes(packet_bytes[14:16], "big") & 0xFFF
+
+
 def assert_same_observable_state(scalar, batched):
-    """Pipeline statistics and TM queue contents must match too."""
+    """Pipeline statistics and TM queue contents must match too.
+
+    The batched switch serves egress through the weighted-fair
+    scheduler (``switch.engine()`` installs it), which is *allowed* to
+    reorder packets across tenants — that is its whole point — but
+    never within one tenant's flow order, and never to gain or lose a
+    packet. So queues are compared as (a) identical per-port packet
+    multisets and (b) identical per-(port, tenant) subsequences.
+    """
     assert scalar.pipeline.stats.summary() == batched.pipeline.stats.summary()
     assert dict(scalar.pipeline.stats.per_module_out) == \
         dict(batched.pipeline.stats.per_module_out)
@@ -70,8 +83,21 @@ def assert_same_observable_state(scalar, batched):
         dict(batched.pipeline.stats.drop_reasons)
     queues_a = scalar.pipeline.traffic_manager.drain_all()
     queues_b = batched.pipeline.traffic_manager.drain_all()
-    assert {port: [p.tobytes() for p in q] for port, q in queues_a.items()} \
-        == {port: [p.tobytes() for p in q] for port, q in queues_b.items()}
+
+    def multisets(queues):
+        return {port: sorted(p.tobytes() for p in q)
+                for port, q in queues.items()}
+
+    def tenant_order(queues):
+        order = {}
+        for port, q in queues.items():
+            for p in q:
+                raw = p.tobytes()
+                order.setdefault((port, _vid_of(raw)), []).append(raw)
+        return order
+
+    assert multisets(queues_a) == multisets(queues_b)
+    assert tenant_order(queues_a) == tenant_order(queues_b)
 
 
 # ---------------------------------------------------------------------------

@@ -21,6 +21,8 @@ def test_example_inventory():
         "netcache_kv_store.py",
         "netchain_sequencer.py",
         "ternary_firewall_pcap.py",
+        "batched_serving.py",
+        "egress_isolation.py",
     }
 
 

@@ -4,6 +4,7 @@ recovery behavior of the control protocols."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.api import Tenant
 from repro.core import (
     MenshenPipeline,
     ResourceId,
@@ -65,14 +66,14 @@ class TestReconfigLossRecovery:
         pipe = MenshenPipeline()
         ctl = MenshenController(pipe)
         ctl.load_module(3, netchain.P4_SOURCE, "chain-a")
-        netchain.install_entries(ctl, 3)
+        netchain.install(Tenant.attach(ctl, 3))
         for _ in range(5):
             pipe.process(netchain.make_packet(3))
         assert ctl.register_read(3, "sequencer") == 5
         ctl.unload_module(3)
         # A different tenant takes the same module id and resources.
         ctl.load_module(3, netchain.P4_SOURCE, "chain-b")
-        netchain.install_entries(ctl, 3)
+        netchain.install(Tenant.attach(ctl, 3))
         result = pipe.process(netchain.make_packet(3))
         assert netchain.read_seq(result.packet) == 1  # fresh state
 
@@ -133,7 +134,7 @@ class TestMalformedInputs:
         pipe = MenshenPipeline()
         ctl = MenshenController(pipe)
         ctl.load_module(3, calc.P4_SOURCE, "calc")
-        calc.install_entries(ctl, 3)
+        calc.install(Tenant.attach(ctl, 3))
         short = calc.make_packet(3, calc.OP_ADD, 1, 1)
         short.truncate(50)  # cuts into the calc header
         with pytest.raises(PacketError):

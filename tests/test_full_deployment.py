@@ -15,34 +15,34 @@ from repro.modules import (
     source_routing,
 )
 from repro.runtime import MenshenController
-from repro.sysmod import setup_system_module
+from repro.api import Switch, Tenant
 
 
 @pytest.fixture(scope="module")
 def deployment():
     pipe = MenshenPipeline()
     ctl = MenshenController(pipe)
-    setup_system_module(ctl, routes={"10.0.0.2": 7})
+    Switch(controller=ctl).install_system(routes={"10.0.0.2": 7})
     pipe.traffic_manager.set_mcast_group(5, [1, 2])
 
     ctl.load_module(1, calc.P4_SOURCE, "calc")
-    calc.install_entries(ctl, 1, port=1)
+    calc.install(Tenant.attach(ctl, 1), port=1)
     ctl.load_module(2, firewall.P4_SOURCE, "firewall")
-    firewall.install_entries(ctl, 2, blocked=[("10.0.0.66", 53)],
+    firewall.install(Tenant.attach(ctl, 2), blocked=[("10.0.0.66", 53)],
                              allowed=[("10.0.0.1", 80, 2)])
     ctl.load_module(3, load_balancer.P4_SOURCE, "lb")
-    load_balancer.install_entries(ctl, 3,
+    load_balancer.install(Tenant.attach(ctl, 3),
                                   flows=[("10.0.0.1", 1111, 3, 8001)])
     ctl.load_module(4, qos.P4_SOURCE, "qos")
-    qos.install_entries(ctl, 4)
+    qos.install(Tenant.attach(ctl, 4))
     ctl.load_module(5, source_routing.P4_SOURCE, "srcroute")
-    source_routing.install_entries(ctl, 5)
+    source_routing.install(Tenant.attach(ctl, 5))
     ctl.load_module(6, netcache.P4_SOURCE, "netcache")
-    netcache.install_entries(ctl, 6, cached=[(0xAA, 0, 4242)])
+    netcache.install(Tenant.attach(ctl, 6), cached=[(0xAA, 0, 4242)])
     ctl.load_module(7, netchain.P4_SOURCE, "netchain")
-    netchain.install_entries(ctl, 7, port=6)
+    netchain.install(Tenant.attach(ctl, 7), port=6)
     ctl.load_module(8, multicast.P4_SOURCE, "multicast")
-    multicast.install_entries(ctl, 8, groups=[("224.0.0.7", 5)])
+    multicast.install(Tenant.attach(ctl, 8), groups=[("224.0.0.7", 5)])
     return pipe, ctl
 
 
@@ -134,6 +134,6 @@ class TestAllEightResident:
         ctl.unload_module(4)
         assert pipe.process(qos.make_packet(4, 5060)).dropped
         ctl.load_module(4, qos.P4_SOURCE, "qos")
-        qos.install_entries(ctl, 4)
+        qos.install(Tenant.attach(ctl, 4))
         r = pipe.process(qos.make_packet(4, 5060))
         assert qos.read_dscp(r.packet) == qos.DSCP_EF

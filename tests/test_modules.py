@@ -17,7 +17,7 @@ from repro.modules import (
 from repro.modules.registry import ALL_MODULES, module_by_name, module_names
 from repro.net import parse_layers
 from repro.runtime import MenshenController
-from repro.sysmod import setup_system_module
+from repro.api import Switch, Tenant
 
 
 def fresh():
@@ -29,7 +29,7 @@ class TestCalc:
     def test_all_opcodes(self):
         pipe, ctl = fresh()
         ctl.load_module(1, calc.P4_SOURCE)
-        calc.install_entries(ctl, 1, port=2)
+        calc.install(Tenant.attach(ctl, 1), port=2)
         cases = [(calc.OP_ADD, 100, 23), (calc.OP_SUB, 50, 8),
                  (calc.OP_ECHO, 77, 0), (calc.OP_SUB, 1, 2)]
         for op, a, b in cases:
@@ -40,14 +40,14 @@ class TestCalc:
     def test_egress_port_from_entry(self):
         pipe, ctl = fresh()
         ctl.load_module(1, calc.P4_SOURCE)
-        calc.install_entries(ctl, 1, port=5)
+        calc.install(Tenant.attach(ctl, 1), port=5)
         res = pipe.process(calc.make_packet(1, calc.OP_ADD, 1, 1))
         assert res.egress_port == 5
 
     def test_unknown_opcode_passthrough(self):
         pipe, ctl = fresh()
         ctl.load_module(1, calc.P4_SOURCE)
-        calc.install_entries(ctl, 1)
+        calc.install(Tenant.attach(ctl, 1))
         res = pipe.process(calc.make_packet(1, 99, 5, 5))
         assert res.forwarded
         assert calc.read_result(res.packet) == 0
@@ -57,8 +57,8 @@ class TestFirewall:
     def test_block_and_allow(self):
         pipe, ctl = fresh()
         ctl.load_module(2, firewall.P4_SOURCE)
-        firewall.install_entries(
-            ctl, 2,
+        firewall.install(
+            Tenant.attach(ctl, 2),
             blocked=[("10.0.0.66", 53)],
             allowed=[("10.0.0.1", 80, 4)])
         blocked = pipe.process(firewall.make_packet(2, "10.0.0.66", 53))
@@ -69,14 +69,14 @@ class TestFirewall:
     def test_unmatched_traffic_passes(self):
         pipe, ctl = fresh()
         ctl.load_module(2, firewall.P4_SOURCE)
-        firewall.install_entries(ctl, 2, blocked=[("10.0.0.66", 53)])
+        firewall.install(Tenant.attach(ctl, 2), blocked=[("10.0.0.66", 53)])
         res = pipe.process(firewall.make_packet(2, "10.0.0.9", 53))
         assert res.forwarded
 
     def test_block_is_exact_on_both_fields(self):
         pipe, ctl = fresh()
         ctl.load_module(2, firewall.P4_SOURCE)
-        firewall.install_entries(ctl, 2, blocked=[("10.0.0.66", 53)])
+        firewall.install(Tenant.attach(ctl, 2), blocked=[("10.0.0.66", 53)])
         assert pipe.process(
             firewall.make_packet(2, "10.0.0.66", 54)).forwarded
 
@@ -85,7 +85,7 @@ class TestLoadBalancer:
     def test_flow_steering(self):
         pipe, ctl = fresh()
         ctl.load_module(3, load_balancer.P4_SOURCE)
-        load_balancer.install_entries(ctl, 3, flows=[
+        load_balancer.install(Tenant.attach(ctl, 3), flows=[
             ("10.0.0.1", 1111, 2, 8001),
             ("10.0.0.1", 2222, 3, 8002),
         ])
@@ -101,7 +101,7 @@ class TestQos:
     def test_dscp_marking(self):
         pipe, ctl = fresh()
         ctl.load_module(4, qos.P4_SOURCE)
-        qos.install_entries(ctl, 4)
+        qos.install(Tenant.attach(ctl, 4))
         voice = pipe.process(qos.make_packet(4, 5060))
         assert qos.read_dscp(voice.packet) == qos.DSCP_EF
         video = pipe.process(qos.make_packet(4, 8801))
@@ -112,7 +112,7 @@ class TestQos:
     def test_version_ihl_preserved(self):
         pipe, ctl = fresh()
         ctl.load_module(4, qos.P4_SOURCE)
-        qos.install_entries(ctl, 4)
+        qos.install(Tenant.attach(ctl, 4))
         res = pipe.process(qos.make_packet(4, 5060))
         assert parse_layers(res.packet)["ipv4"].version == 4
         assert parse_layers(res.packet)["ipv4"].ihl == 5
@@ -122,7 +122,7 @@ class TestSourceRouting:
     def test_port_comes_from_packet(self):
         pipe, ctl = fresh()
         ctl.load_module(5, source_routing.P4_SOURCE)
-        source_routing.install_entries(ctl, 5)
+        source_routing.install(Tenant.attach(ctl, 5))
         for port in (1, 3, 7):
             res = pipe.process(source_routing.make_packet(5, port))
             assert res.egress_port == port
@@ -130,7 +130,7 @@ class TestSourceRouting:
     def test_invalid_tag_misses(self):
         pipe, ctl = fresh()
         ctl.load_module(5, source_routing.P4_SOURCE)
-        source_routing.install_entries(ctl, 5)
+        source_routing.install(Tenant.attach(ctl, 5))
         res = pipe.process(source_routing.make_packet(5, 3, tag=0x1111))
         assert res.egress_port == 0  # no matching tag: no routing action
 
@@ -139,7 +139,7 @@ class TestNetCache:
     def test_cache_hit_returns_value(self):
         pipe, ctl = fresh()
         ctl.load_module(6, netcache.P4_SOURCE)
-        netcache.install_entries(ctl, 6, cached=[
+        netcache.install(Tenant.attach(ctl, 6), cached=[
             (0xAAAA, 0, 1234), (0xBBBB, 1, 5678)])
         res = pipe.process(netcache.make_get(6, 0xAAAA))
         assert netcache.read_value(res.packet) == 1234
@@ -149,14 +149,14 @@ class TestNetCache:
     def test_cache_miss_leaves_zero(self):
         pipe, ctl = fresh()
         ctl.load_module(6, netcache.P4_SOURCE)
-        netcache.install_entries(ctl, 6, cached=[(0xAAAA, 0, 1234)])
+        netcache.install(Tenant.attach(ctl, 6), cached=[(0xAAAA, 0, 1234)])
         res = pipe.process(netcache.make_get(6, 0xCCCC))
         assert netcache.read_value(res.packet) == 0
 
     def test_op_counter_increments(self):
         pipe, ctl = fresh()
         ctl.load_module(6, netcache.P4_SOURCE)
-        netcache.install_entries(ctl, 6, cached=[(0xAAAA, 0, 1)])
+        netcache.install(Tenant.attach(ctl, 6), cached=[(0xAAAA, 0, 1)])
         stats = [netcache.read_stat(
             pipe.process(netcache.make_get(6, 0xAAAA)).packet)
             for _ in range(3)]
@@ -166,7 +166,7 @@ class TestNetCache:
     def test_value_update_via_control_plane(self):
         pipe, ctl = fresh()
         ctl.load_module(6, netcache.P4_SOURCE)
-        netcache.install_entries(ctl, 6, cached=[(0xAAAA, 0, 1)])
+        netcache.install(Tenant.attach(ctl, 6), cached=[(0xAAAA, 0, 1)])
         ctl.register_write(6, "values", 0, 999)
         res = pipe.process(netcache.make_get(6, 0xAAAA))
         assert netcache.read_value(res.packet) == 999
@@ -176,7 +176,7 @@ class TestNetChain:
     def test_sequencer_monotonic(self):
         pipe, ctl = fresh()
         ctl.load_module(7, netchain.P4_SOURCE)
-        netchain.install_entries(ctl, 7, port=3)
+        netchain.install(Tenant.attach(ctl, 7), port=3)
         seqs = [netchain.read_seq(
             pipe.process(netchain.make_packet(7)).packet)
             for _ in range(5)]
@@ -185,7 +185,7 @@ class TestNetChain:
     def test_egress_from_entry(self):
         pipe, ctl = fresh()
         ctl.load_module(7, netchain.P4_SOURCE)
-        netchain.install_entries(ctl, 7, port=3)
+        netchain.install(Tenant.attach(ctl, 7), port=3)
         assert pipe.process(netchain.make_packet(7)).egress_port == 3
 
 
@@ -194,7 +194,7 @@ class TestMulticast:
         pipe, ctl = fresh()
         pipe.traffic_manager.set_mcast_group(5, [1, 2, 3])
         ctl.load_module(8, multicast.P4_SOURCE)
-        multicast.install_entries(ctl, 8, groups=[("224.0.0.7", 5)])
+        multicast.install(Tenant.attach(ctl, 8), groups=[("224.0.0.7", 5)])
         res = pipe.process(multicast.make_packet(8, "224.0.0.7"))
         assert res.mcast_group == 5
         for port in (1, 2, 3):
@@ -205,7 +205,7 @@ class TestMulticast:
         pipe, ctl = fresh()
         pipe.traffic_manager.set_mcast_group(5, [1, 2])
         ctl.load_module(8, multicast.P4_SOURCE)
-        multicast.install_entries(ctl, 8, groups=[("224.0.0.7", 5)])
+        multicast.install(Tenant.attach(ctl, 8), groups=[("224.0.0.7", 5)])
         res = pipe.process(multicast.make_packet(8, "10.0.0.9"))
         assert res.mcast_group == 0
 
@@ -235,12 +235,12 @@ class TestBehaviorIsolationExperiments:
     def load_trio_a(self):
         pipe, ctl = fresh()
         ctl.load_module(1, calc.P4_SOURCE, "calc")
-        calc.install_entries(ctl, 1, port=1)
+        calc.install(Tenant.attach(ctl, 1), port=1)
         ctl.load_module(2, firewall.P4_SOURCE, "firewall")
-        firewall.install_entries(ctl, 2, blocked=[("10.0.0.66", 53)],
+        firewall.install(Tenant.attach(ctl, 2), blocked=[("10.0.0.66", 53)],
                                  allowed=[("10.0.0.1", 80, 4)])
         ctl.load_module(3, netcache.P4_SOURCE, "netcache")
-        netcache.install_entries(ctl, 3, cached=[(0xAAAA, 0, 42)])
+        netcache.install(Tenant.attach(ctl, 3), cached=[(0xAAAA, 0, 42)])
         return pipe, ctl
 
     def test_calc_firewall_netcache_concurrently(self):
@@ -261,7 +261,7 @@ class TestBehaviorIsolationExperiments:
         solo_results = []
         for loader, pkt_maker, reader in [
             (lambda c: (c.load_module(1, calc.P4_SOURCE),
-                        calc.install_entries(c, 1)),
+                        calc.install(Tenant.attach(c, 1))),
              lambda: calc.make_packet(1, calc.OP_SUB, 9, 4),
              lambda r: calc.read_result(r.packet)),
         ]:
@@ -279,12 +279,12 @@ class TestBehaviorIsolationExperiments:
     def test_lb_sourcerouting_netchain_concurrently(self):
         pipe, ctl = fresh()
         ctl.load_module(1, load_balancer.P4_SOURCE, "lb")
-        load_balancer.install_entries(ctl, 1,
+        load_balancer.install(Tenant.attach(ctl, 1),
                                       flows=[("10.0.0.1", 1111, 2, 8001)])
         ctl.load_module(2, source_routing.P4_SOURCE, "sr")
-        source_routing.install_entries(ctl, 2)
+        source_routing.install(Tenant.attach(ctl, 2))
         ctl.load_module(3, netchain.P4_SOURCE, "chain")
-        netchain.install_entries(ctl, 3, port=6)
+        netchain.install(Tenant.attach(ctl, 3), port=6)
 
         for expected_seq in (1, 2, 3):
             r = pipe.process(load_balancer.make_packet(1, "10.0.0.1", 1111))
@@ -299,7 +299,7 @@ class TestWithSystemModule:
     def test_all_modules_compile_against_user_target(self):
         from repro.compiler import CompilerOptions, compile_module
         pipe, ctl = fresh()
-        setup_system_module(ctl, routes={"10.0.0.2": 3})
+        Switch(controller=ctl).install_system(routes={"10.0.0.2": 3})
         target = ctl.compile_target()
         for mod in ALL_MODULES:
             compiled = compile_module(
@@ -308,10 +308,10 @@ class TestWithSystemModule:
 
     def test_system_routing_applies_to_module_traffic(self):
         pipe, ctl = fresh()
-        setup_system_module(ctl, vip_map={"10.99.0.5": "10.0.0.2"},
+        Switch(controller=ctl).install_system(vip_map={"10.99.0.5": "10.0.0.2"},
                             routes={"10.0.0.2": 3})
         ctl.load_module(4, calc.P4_SOURCE)
-        calc.install_entries(ctl, 4)
+        calc.install(Tenant.attach(ctl, 4))
         from repro.modules.base import common_packet
         payload = (calc.OP_ADD.to_bytes(2, "big") + (40).to_bytes(4, "big")
                    + (2).to_bytes(4, "big") + (0).to_bytes(4, "big"))
@@ -322,20 +322,17 @@ class TestWithSystemModule:
 
     def test_tenant_counters_per_module(self):
         pipe, ctl = fresh()
-        setup_system_module(
-            ctl,
+        Switch(controller=ctl).install_system(
             vip_map={"10.99.0.5": "10.0.0.2", "10.99.0.6": "10.0.0.2"},
             routes={"10.0.0.2": 1})
         # counter_index defaults to 0 for both vips; use explicit indexes
         # through install order instead: re-install with indexes.
-        from repro.sysmod import install_system_entries
         pipe2, ctl2 = fresh()
-        setup_system_module(ctl2, routes={"10.0.0.2": 1})
-        install_system_entries(
-            ctl2, vip_map={"10.99.0.5": "10.0.0.2"}, routes={},
+        Switch(controller=ctl2).install_system(
+            routes={"10.0.0.2": 1}, vip_map={"10.99.0.5": "10.0.0.2"},
             counter_index={"10.99.0.5": 3})
         ctl2.load_module(4, calc.P4_SOURCE)
-        calc.install_entries(ctl2, 4)
+        calc.install(Tenant.attach(ctl2, 4))
         from repro.modules.base import common_packet
         payload = (calc.OP_ECHO.to_bytes(2, "big") + (1).to_bytes(4, "big")
                    + (0).to_bytes(4, "big") + (0).to_bytes(4, "big"))

@@ -4,6 +4,7 @@ import io
 
 import pytest
 
+from repro.api import Tenant
 from repro.errors import PacketError
 from repro.net import PacketBuilder, parse_layers
 from repro.traffic.pcap import load_pcap, read_pcap, save_pcap, write_pcap
@@ -77,7 +78,7 @@ class TestPcap:
         pipe = MenshenPipeline()
         ctl = MenshenController(pipe)
         ctl.load_module(1, calc.P4_SOURCE, "calc")
-        calc.install_entries(ctl, 1)
+        calc.install(Tenant.attach(ctl, 1))
         outputs = [pipe.process(calc.make_packet(1, calc.OP_ADD, i, 1)
                                 ).packet for i in range(4)]
         path = str(tmp_path / "out.pcap")

@@ -40,6 +40,26 @@ class TestPifoQueue:
         assert q.peek_rank() == 7.0
         assert len(q) == 1
 
+    def test_drop_leaves_queue_intact(self):
+        # A capacity drop must not disturb what is already queued, and
+        # the queue must keep serving (and accepting) correctly after.
+        q = PifoQueue(capacity=2)
+        q.push(2.0, "b")
+        q.push(1.0, "a")
+        assert not q.push(0.5, "would-win")   # dropped despite best rank
+        assert q.pop() == "a"
+        assert q.push(3.0, "c")               # slot freed by the pop
+        assert [q.pop(), q.pop()] == ["b", "c"]
+        assert q.dropped == 1
+
+    def test_equal_ranks_stay_fifo_across_interleaved_pops(self):
+        q = PifoQueue()
+        q.push(1.0, "a1")
+        q.push(1.0, "a2")
+        assert q.pop() == "a1"
+        q.push(1.0, "a3")
+        assert [q.pop(), q.pop()] == ["a2", "a3"]
+
 
 class TestStfqRanker:
     def test_backlogged_weights_share_proportionally(self):
@@ -63,6 +83,24 @@ class TestStfqRanker:
         with pytest.raises(ConfigError):
             StfqRanker({1: 0.0})
 
+    def test_unknown_module_gets_default_weight(self):
+        ranker = StfqRanker({1: 2.0}, default_weight=4.0)
+        assert ranker.weight_of(1) == 2.0
+        assert ranker.weight_of(99) == 4.0
+        # Weight 4 accumulates finish tags at 1/4 the byte rate.
+        ranks = [ranker.rank(99, 100) for _ in range(3)]
+        assert ranks == [0.0, 25.0, 50.0]
+
+    def test_unequal_weights_share_proportionally_with_mixed_sizes(self):
+        # Weighted shares must hold in *bytes*, not packets: module 1
+        # (weight 3) sends 300-byte packets, module 2 (weight 1) sends
+        # 100-byte ones; finish-tag spacing is size/weight either way.
+        ranker = StfqRanker({1: 3.0, 2: 1.0})
+        r1 = [ranker.rank(1, 300) for _ in range(3)]
+        r2 = [ranker.rank(2, 100) for _ in range(3)]
+        assert r1 == [0.0, 100.0, 200.0]
+        assert r2 == [0.0, 100.0, 200.0]
+
 
 class TestPifoTrafficManager:
     def test_weighted_fair_sharing_under_backlog(self):
@@ -71,7 +109,7 @@ class TestPifoTrafficManager:
                                 weights={1: 5.0, 2: 3.0, 3: 2.0})
         for _ in range(300):
             for vid in (1, 2, 3):
-                tm.enqueue(packet(200, vid), 0, vid)
+                tm.enqueue(packet(200, vid), 0, module_id=vid)
         served = tm.drain_bytes(0, budget_bytes=200 * 100)
         total = sum(served.values())
         assert served[1] / total == pytest.approx(0.5, abs=0.05)
@@ -82,9 +120,9 @@ class TestPifoTrafficManager:
         # Module 9 floods 10x the packets; equal weights still halve.
         tm = PifoTrafficManager(num_ports=1)
         for _ in range(500):
-            tm.enqueue(packet(200, 9), 0, 9)
+            tm.enqueue(packet(200, 9), 0, module_id=9)
         for _ in range(50):
-            tm.enqueue(packet(200, 1), 0, 1)
+            tm.enqueue(packet(200, 1), 0, module_id=1)
         served = tm.drain_bytes(0, budget_bytes=200 * 80)
         # Module 1's 50 packets all make it out within the first ~100.
         assert served.get(1, 0) >= 200 * 35
@@ -104,16 +142,53 @@ class TestPifoTrafficManager:
 
     def test_dequeue_and_counters(self):
         tm = PifoTrafficManager(num_ports=2)
-        tm.enqueue(packet(100, 1), 1, 1)
+        tm.enqueue(packet(100, 1), 1, module_id=1)
         out = tm.dequeue(1)
         assert len(out) == 100
         assert tm.dequeue(1) is None
         assert tm.bytes_out_per_module[1] == 100
 
+    def test_drain_bytes_counts_transmitted_bytes(self):
+        # drain_bytes is a service path like dequeue: what it serves
+        # must land in bytes_out_per_module with the same (dequeue-time)
+        # semantics, and packets left queued must not.
+        tm = PifoTrafficManager(num_ports=1)
+        for _ in range(4):
+            tm.enqueue(packet(200, 1), 0, module_id=1)
+            tm.enqueue(packet(200, 2), 0, module_id=2)
+        served = tm.drain_bytes(0, budget_bytes=200 * 4)
+        assert sum(served.values()) == 200 * 4
+        assert tm.bytes_out_per_module == served
+        assert tm.dequeued == 4
+        tm.dequeue(0)
+        assert sum(tm.bytes_out_per_module.values()) == 200 * 5
+
     def test_port_bounds(self):
         tm = PifoTrafficManager(num_ports=1)
         with pytest.raises(ConfigError):
-            tm.enqueue(packet(), 1, 1)
+            tm.enqueue(packet(), 1, module_id=1)
+
+    def test_drop_in_as_pipeline_traffic_manager(self):
+        # The advertised use: install it as pipeline.traffic_manager.
+        # commit() calls enqueue(packet, port, mcast, module_id=vid), so
+        # the signature must match the TM contract.
+        from repro.api import Switch
+        from repro.modules import calc
+
+        switch = Switch.build().create()
+        tenant = switch.admit("calc", calc.P4_SOURCE, vid=1)
+        calc.install(tenant, port=1)
+        switch.pipeline.traffic_manager = PifoTrafficManager(num_ports=8)
+        result = switch.process(calc.make_packet(1, calc.OP_ADD, 2, 3))
+        assert result.forwarded
+        assert switch.pipeline.traffic_manager.queue_len(1) == 1
+        switch.pipeline.traffic_manager.dequeue(1)
+        assert switch.pipeline.traffic_manager.bytes_out_per_module[1] > 0
+
+    def test_multicast_not_modeled(self):
+        tm = PifoTrafficManager(num_ports=2)
+        with pytest.raises(ConfigError):
+            tm.enqueue(packet(), 0, mcast_group=3, module_id=1)
 
 
 class TestCuckooExactTable:

@@ -3,6 +3,7 @@ isolation invariants."""
 
 from hypothesis import given, settings, strategies as st
 
+from repro.api import Tenant
 from repro import bits
 from repro.core import OverlayTable, SegmentTable, SegmentedAccess
 from repro.core.reconfig import (
@@ -304,7 +305,7 @@ class TestEndToEndProperty:
         pipe = MenshenPipeline()
         ctl = MenshenController(pipe)
         ctl.load_module(1, calc.P4_SOURCE, "calc")
-        calc.install_entries(ctl, 1)
+        calc.install(Tenant.attach(ctl, 1))
         result = pipe.process(calc.make_packet(1, op, a, b))
         assert calc.read_result(result.packet) == \
             calc.reference_result(op, a, b)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import Tenant
 from repro.compiler.resource_checker import ResourceRequest
 from repro.core import MenshenPipeline, ResourceId, ResourceType
 from repro.errors import (
@@ -57,7 +58,7 @@ class TestControllerLifecycle:
     def test_load_and_process(self):
         pipe, ctl = make_controller()
         ctl.load_module(3, calc.P4_SOURCE, "calc")
-        calc.install_entries(ctl, 3)
+        calc.install(Tenant.attach(ctl, 3))
         res = pipe.process(calc.make_packet(3, calc.OP_ADD, 2, 3))
         assert calc.read_result(res.packet) == 5
 
@@ -65,7 +66,7 @@ class TestControllerLifecycle:
         pipe, ctl = make_controller()
         pipe.daisy_chain.drop_next(3)
         ctl.load_module(3, calc.P4_SOURCE, "calc")
-        calc.install_entries(ctl, 3)
+        calc.install(Tenant.attach(ctl, 3))
         res = pipe.process(calc.make_packet(3, calc.OP_ADD, 2, 3))
         assert calc.read_result(res.packet) == 5
 
@@ -83,7 +84,7 @@ class TestControllerLifecycle:
     def test_unload_frees_and_stops_traffic(self):
         pipe, ctl = make_controller()
         ctl.load_module(3, calc.P4_SOURCE)
-        calc.install_entries(ctl, 3)
+        calc.install(Tenant.attach(ctl, 3))
         ctl.unload_module(3)
         res = pipe.process(calc.make_packet(3, calc.OP_ADD, 2, 3))
         assert res.dropped and res.drop_reason == "unknown_module"
@@ -94,7 +95,7 @@ class TestControllerLifecycle:
         from repro.modules import netchain
         pipe, ctl = make_controller()
         ctl.load_module(3, netchain.P4_SOURCE)
-        netchain.install_entries(ctl, 3)
+        netchain.install(Tenant.attach(ctl, 3))
         pipe.process(netchain.make_packet(3))
         pipe.process(netchain.make_packet(3))
         assert ctl.register_read(3, "sequencer", 0) == 2
@@ -106,10 +107,10 @@ class TestControllerLifecycle:
     def test_update_module_swaps_logic(self):
         pipe, ctl = make_controller()
         ctl.load_module(3, calc.P4_SOURCE, "calc")
-        calc.install_entries(ctl, 3)
+        calc.install(Tenant.attach(ctl, 3))
         # Update to the firewall program under the same module id.
         ctl.update_module(3, firewall.P4_SOURCE)
-        firewall.install_entries(ctl, 3,
+        firewall.install(Tenant.attach(ctl, 3),
                                  blocked=[("10.0.0.1", 20000)])
         res = pipe.process(firewall.make_packet(3, "10.0.0.1", 20000))
         assert res.dropped and res.drop_reason == "discard"
@@ -118,7 +119,7 @@ class TestControllerLifecycle:
         pipe, ctl = make_controller()
         ctl.load_module(3, calc.P4_SOURCE, "calc")
         ctl.load_module(4, firewall.P4_SOURCE, "fw")
-        calc.install_entries(ctl, 3)
+        calc.install(Tenant.attach(ctl, 3))
         mark = pipe.parser_table.log_position
         marks = {i: s.key_extract_table.log_position
                  for i, s in enumerate(pipe.stages)}
@@ -218,6 +219,51 @@ class TestPolicies:
         assert not policy.admit(2, self.request(match=80))
         policy.release(1)
         assert policy.admit(3, self.request(match=20))
+
+    def test_drf_caps_cumulative_share_per_owner(self):
+        # The starvation-by-a-thousand-cuts hole: many small modules,
+        # each individually under fair_cap, must not let one owner
+        # accumulate an unbounded cumulative dominant share.
+        policy = DrfPolicy(expected_tenants=8, fairness_slack=2.0)
+        # fair_cap = 0.25 of 80 match entries -> 20 entries per owner.
+        assert policy.admit(1, self.request(match=8), owner=100)
+        assert policy.admit(2, self.request(match=8), owner=100)
+        # Third 8-entry module would take owner 100 to 24/80 = 0.30.
+        assert not policy.admit(3, self.request(match=8), owner=100)
+        # A different owner still has full headroom.
+        assert policy.admit(4, self.request(match=8), owner=200)
+        assert policy.owner_dominant_share(100) == pytest.approx(16 / 80)
+
+    def test_drf_release_returns_owner_headroom(self):
+        policy = DrfPolicy(expected_tenants=8, fairness_slack=2.0)
+        assert policy.admit(1, self.request(match=16), owner=100)
+        assert not policy.admit(2, self.request(match=16), owner=100)
+        policy.release(1)
+        assert policy.owner_dominant_share(100) == 0.0
+        assert policy.admit(2, self.request(match=16), owner=100)
+
+    def test_controller_releases_policy_on_unload(self):
+        # Evicting a module must return its demand to the policy —
+        # otherwise reloading the same VID is rejected as a duplicate
+        # and evicted tenants are charged forever.
+        pipe = MenshenPipeline()
+        policy = DrfPolicy(expected_tenants=8, fairness_slack=2.0)
+        ctl = MenshenController(pipe, policy=policy)
+        ctl.load_module(3, calc.P4_SOURCE, "calc")
+        assert 3 in policy.state.usage
+        ctl.unload_module(3)
+        assert 3 not in policy.state.usage
+        ctl.load_module(3, calc.P4_SOURCE, "calc")  # reload works
+        assert 3 in policy.state.usage
+
+    def test_controller_releases_policy_on_update(self):
+        pipe = MenshenPipeline()
+        policy = DrfPolicy(expected_tenants=8, fairness_slack=2.0)
+        ctl = MenshenController(pipe, policy=policy)
+        ctl.load_module(3, calc.P4_SOURCE, "calc")
+        before = policy.state.usage[3]
+        ctl.update_module(3, calc.P4_SOURCE)  # re-admits, no duplicate
+        assert policy.state.usage[3] == before
 
     def test_utility_density_threshold(self):
         policy = UtilityPolicy(min_density=1.0)

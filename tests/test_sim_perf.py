@@ -3,6 +3,7 @@ area models, traffic generation, and the Fig. 10 timeline."""
 
 import pytest
 
+from repro.api import Tenant
 from repro.area import AsicAreaModel, FpgaResourceModel, TABLE4_REFERENCE
 from repro.sim import (
     CORUNDUM_LATENCY,
@@ -274,7 +275,7 @@ class TestFig10Timeline:
         ctl = MenshenController(pipe)
         for vid in (1, 2, 3):
             ctl.load_module(vid, calc.P4_SOURCE, f"calc{vid}")
-            calc.install_entries(ctl, vid, port=vid)
+            calc.install(Tenant.attach(ctl, vid), port=vid)
 
         exp = ReconfigTimelineExperiment(pipe, duration_s=3.0, bin_s=0.1,
                                          scale=1000.0,

@@ -52,13 +52,27 @@ class TestPipelineStats:
 
 
 class TestTrafficManagerTelemetry:
-    def test_bytes_out_per_port(self):
+    def test_bytes_out_counts_at_dequeue(self):
+        # "Transmitted bytes" means transmitted: packets still queued
+        # must not show up in the §3.3 real-time statistics.
         tm = TrafficManager(num_ports=2)
         tm.enqueue(pkt(100), 0)
         tm.enqueue(pkt(200), 0)
         tm.enqueue(pkt(300), 1)
-        assert tm.bytes_out[0] == 300
-        assert tm.bytes_out[1] == 300
+        assert tm.bytes_out == [0, 0]
+        tm.dequeue(0)
+        assert tm.bytes_out == [100, 0]
+        tm.drain(0)
+        tm.drain(1)
+        assert tm.bytes_out == [300, 300]
+
+    def test_dropped_packet_never_counts_as_transmitted(self):
+        tm = TrafficManager(num_ports=1, queue_capacity=1)
+        tm.enqueue(pkt(100), 0)
+        assert tm.enqueue(pkt(200), 0) == 0   # over capacity: dropped
+        assert tm.dropped == 1
+        tm.drain(0)
+        assert tm.bytes_out[0] == 100
 
     def test_queue_length_visible(self):
         # The "queue length" statistic tenants can read (§3.3).

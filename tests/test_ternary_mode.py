@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import Tenant
 from repro.core import MenshenPipeline, ResourceId, ResourceType, build_reconfig_packet
 from repro.errors import RuntimeInterfaceError
 from repro.modules import firewall
@@ -33,8 +34,8 @@ class TestTcamEncoding:
 class TestTernaryPipeline:
     def test_prefix_block_and_default_allow(self):
         pipe, ctl = ternary_setup()
-        firewall.install_prefix_entries(
-            ctl, 2, blocked_prefixes=[("10.66.0.0", 16)], default_port=3)
+        firewall.install_prefix(
+            Tenant.attach(ctl, 2), blocked_prefixes=[("10.66.0.0", 16)], default_port=3)
         # Inside the blocked /16: dropped regardless of host bits.
         for src in ("10.66.0.1", "10.66.255.254", "10.66.7.7"):
             result = pipe.process(firewall.make_packet(2, src, 53))
@@ -67,10 +68,10 @@ class TestTernaryPipeline:
 
     def test_module_isolation_in_ternary_mode(self):
         pipe, ctl = ternary_setup()
-        firewall.install_prefix_entries(
-            ctl, 2, blocked_prefixes=[("0.0.0.0", 0)])  # block everything
+        firewall.install_prefix(
+            Tenant.attach(ctl, 2), blocked_prefixes=[("0.0.0.0", 0)])  # block everything
         ctl.load_module(3, firewall.P4_SOURCE_TERNARY, "fw2")
-        firewall.install_prefix_entries(ctl, 3, default_port=4)
+        firewall.install_prefix(Tenant.attach(ctl, 3), default_port=4)
         # Module 2 blocks all its traffic; module 3's flows anyway.
         assert pipe.process(firewall.make_packet(2, "1.2.3.4", 9)).dropped
         result = pipe.process(firewall.make_packet(3, "1.2.3.4", 9))
@@ -80,19 +81,19 @@ class TestTernaryPipeline:
         # Appendix B's point: contiguous per-module blocks mean rule
         # updates for one module never move another module's rules.
         pipe, ctl = ternary_setup()
-        firewall.install_prefix_entries(
-            ctl, 2, blocked_prefixes=[("10.66.0.0", 16)], default_port=3)
+        firewall.install_prefix(
+            Tenant.attach(ctl, 2), blocked_prefixes=[("10.66.0.0", 16)], default_port=3)
         ctl.load_module(3, firewall.P4_SOURCE_TERNARY, "fw2")
-        firewall.install_prefix_entries(
-            ctl, 3, blocked_prefixes=[("10.77.0.0", 16)], default_port=4)
+        firewall.install_prefix(
+            Tenant.attach(ctl, 3), blocked_prefixes=[("10.77.0.0", 16)], default_port=4)
         before = pipe.process(firewall.make_packet(3, "10.77.1.1", 1))
         assert before.dropped
         # Re-install module 2's rules (delete + add within its block).
         loaded = ctl.modules[2]
         for handle in list(loaded.table("acl").entries):
             ctl.table_delete(2, "acl", handle)
-        firewall.install_prefix_entries(
-            ctl, 2, blocked_prefixes=[("10.99.0.0", 16)], default_port=3)
+        firewall.install_prefix(
+            Tenant.attach(ctl, 2), blocked_prefixes=[("10.99.0.0", 16)], default_port=3)
         after = pipe.process(firewall.make_packet(3, "10.77.1.1", 1))
         assert after.dropped  # module 3's rule still in force
 

@@ -1,0 +1,60 @@
+"""Tests for the seeded flow samplers (`repro.traffic.flows`)."""
+
+import random
+
+import pytest
+
+from repro.traffic import BurstyOnOff, UniformFlows, ZipfFlows, arrival_times
+
+
+class TestSamplers:
+    def test_uniform_in_range_and_seeded(self):
+        sampler = UniformFlows(16)
+        a = list(sampler.stream(random.Random(1), 100))
+        b = list(sampler.stream(random.Random(1), 100))
+        assert a == b
+        assert all(0 <= f < 16 for f in a)
+
+    def test_zipf_skew_concentrates_head(self):
+        rng = random.Random(2)
+        hot = sum(1 for f in ZipfFlows(1000, skew=0.99).stream(rng, 2000)
+                  if f < 10)
+        rng = random.Random(2)
+        cold = sum(1 for f in ZipfFlows(1000, skew=0.0).stream(rng, 2000)
+                   if f < 10)
+        assert hot > 5 * cold
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            UniformFlows(0)
+        with pytest.raises(ValueError):
+            ZipfFlows(10, skew=-0.1)
+        with pytest.raises(ValueError):
+            BurstyOnOff(mean_on=0)
+
+
+class TestArrivalTimes:
+    def test_evenly_spaced_without_bursts(self):
+        times = arrival_times(random.Random(3), 5, rate_pps=10.0)
+        assert times == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+
+    def test_bursty_preserves_slot_grid_and_count(self):
+        rng = random.Random(4)
+        times = arrival_times(rng, 50, rate_pps=100.0,
+                              bursts=BurstyOnOff(mean_on=4, mean_off=4))
+        assert len(times) == 50
+        gap = 1.0 / 100.0
+        assert all(abs(t / gap - round(t / gap)) < 1e-9 for t in times)
+        # Gating leaves holes: the 50 packets span more than 50 slots.
+        assert times[-1] > 49 * gap
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_times(random.Random(5), -1, rate_pps=10.0)
+
+    def test_zero_count_allowed(self):
+        assert arrival_times(random.Random(5), 0, rate_pps=10.0) == []
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_times(random.Random(5), 3, rate_pps=0.0)
