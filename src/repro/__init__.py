@@ -12,6 +12,10 @@ subpackages stay available for code that needs the internals:
 * :mod:`repro.runtime` — controller and software-to-hardware interface
 * :mod:`repro.modules` — the eight evaluated programs
 * :mod:`repro.sysmod` — the system-level module
+* :mod:`repro.engine` / :mod:`repro.traffic` — batched serving and
+  workload subsystems
+* :mod:`repro.fabric` — multi-switch leaf–spine fabrics of Menshen
+  pipelines
 * :mod:`repro.sim` / :mod:`repro.area` — performance and area models
 """
 

@@ -9,12 +9,24 @@ stitch together by hand (pipeline, controller, compiler, interface):
   processes packets, compiles against the switch's current target.
 * :class:`Tenant` — an object-capability handle scoped to one VID.
   Every operation it exposes (tables, registers, counters, transactions,
-  eviction) can only ever touch that VID's resources; crossing the
-  boundary raises :class:`~repro.errors.TenantIsolationError` at the
-  API instead of corrupting a neighbor.
+  eviction, egress scheduling) can only ever touch that VID's
+  resources; crossing the boundary raises
+  :class:`~repro.errors.TenantIsolationError` at the API instead of
+  corrupting a neighbor.
 * :class:`Transaction` — batches table/register reconfiguration and
   applies it atomically under the §4.1 bitmap/counter protocol, rolling
   back applied operations if any step fails.
+
+The facade also fronts the serving layer: :meth:`Switch.engine`
+returns a batched :class:`~repro.engine.batch.BatchEngine` and (by
+default) routes egress through the weighted-fair
+:class:`~repro.engine.scheduler.EgressScheduler`, configured per
+tenant via :meth:`Tenant.set_weight` / :meth:`Tenant.set_rate_limit`
+/ :meth:`Tenant.clear_rate_limit`; every reconfiguration committed
+through the facade flushes the affected tenant's flow-cache shards.
+One switch is rarely the whole story — :mod:`repro.fabric` composes
+many of these into leaf–spine topologies behind the same tenant
+abstraction.
 """
 
 from __future__ import annotations
@@ -415,9 +427,11 @@ class Switch:
 class Tenant:
     """Capability handle for one VID; the only sanctioned way in.
 
-    Obtained from :meth:`Switch.admit` (or :meth:`Tenant.attach` when
-    wrapping layered code). Holding a handle is holding the authority
-    over exactly that VID's tables, registers, and lifecycle.
+    Obtained from :meth:`Switch.admit`. Holding a handle is holding
+    the authority over exactly that VID's tables, registers, egress
+    configuration, and lifecycle. (:meth:`Tenant.attach` exists only
+    as a compatibility shim for code still loading modules through the
+    layered :class:`~repro.runtime.controller.MenshenController`.)
     """
 
     def __init__(self, switch: Switch, vid: int, name: str = ""):
@@ -430,7 +444,9 @@ class Tenant:
 
     @classmethod
     def attach(cls, controller: MenshenController, vid: int) -> "Tenant":
-        """Adopt a module loaded through the layered API."""
+        """Compatibility shim: adopt a module loaded through the
+        layered API. New code should build a :class:`Switch` and use
+        :meth:`Switch.admit` / :meth:`Switch.tenant` instead."""
         return Switch(controller=controller).tenant(vid)
 
     def __repr__(self) -> str:

@@ -10,7 +10,7 @@ are simply not reachable from the data path.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict
+from typing import Dict, Iterable
 
 
 class PipelineStats:
@@ -74,3 +74,40 @@ class PipelineStats:
             "packets_dropped": self.packets_dropped,
             "reconfig_packets": self.reconfig_packets,
         }
+
+    def merge_from(self, other: "PipelineStats") -> None:
+        """Accumulate another pipeline's counters into this one.
+
+        Used by the fabric layer to present fabric-wide per-tenant
+        counters: each member switch keeps its own ``PipelineStats``,
+        and a fabric-level view is the sum. Counters add; the
+        queue-depth gauge also adds (total packets of the tenant queued
+        anywhere in the fabric)."""
+        self.packets_in += other.packets_in
+        self.packets_out += other.packets_out
+        self.packets_dropped += other.packets_dropped
+        self.reconfig_packets += other.reconfig_packets
+        for src, dst in (
+                (other.per_module_in, self.per_module_in),
+                (other.per_module_out, self.per_module_out),
+                (other.per_module_dropped, self.per_module_dropped),
+                (other.per_module_bytes_out, self.per_module_bytes_out),
+                (other.drop_reasons, self.drop_reasons),
+                (other.egress_bytes_tx, self.egress_bytes_tx),
+                (other.egress_queue_depth, self.egress_queue_depth)):
+            for key, value in src.items():
+                dst[key] += value
+
+    @classmethod
+    def aggregate(cls, many: Iterable["PipelineStats"]) -> "PipelineStats":
+        """A fresh ``PipelineStats`` holding the sum of ``many``.
+
+        The fabric-wide statistics surface: aggregating every member
+        switch's stats yields per-tenant counters for the whole fabric
+        (a packet that crosses three switches counts three times in
+        ``packets_in`` — per-hop semantics, like SNMP interface
+        counters)."""
+        total = cls()
+        for stats in many:
+            total.merge_from(stats)
+        return total

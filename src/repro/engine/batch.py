@@ -42,11 +42,18 @@ of it the old one — same as scalar processing.
 
 Equivalence contract: for any packet sequence, ``process_batch`` yields
 results equal field-for-field (output bytes, PHV, drop reason, egress,
-multicast, statistics, TM queue contents) to ``pipeline.process`` called
-packet by packet. ``tests/test_engine_differential.py`` enforces this
-across all eight evaluated modules. The only exception is error paths:
-if execution raises (e.g. a parse fault), the batch aborts mid-flight and
-packet-buffer round-robin parity with the scalar path is not guaranteed.
+multicast, statistics) to ``pipeline.process`` called packet by packet.
+Traffic-manager state matches up to scheduling: with the plain FIFO TM
+the queue contents are identical; with the weighted-fair
+:class:`~repro.engine.scheduler.EgressScheduler` that
+``switch.engine()`` installs by default, service order may interleave
+*across* tenants (that is the scheduler's job) but per-port packet
+multisets and per-(port, tenant) orderings are identical — exactly
+what ``tests/test_engine_differential.py`` enforces across all eight
+evaluated modules. The only exception is error paths: if execution
+raises (e.g. a parse fault), the batch aborts mid-flight and
+packet-buffer round-robin parity with the scalar path is not
+guaranteed.
 """
 
 from __future__ import annotations

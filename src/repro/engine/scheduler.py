@@ -168,6 +168,10 @@ class EgressScheduler:
         self.num_ports = num_ports
         self.queue_capacity = queue_capacity
         self.line_rate_bps = line_rate_bps
+        #: Per-port line-rate overrides (bps). A fabric wires ports to
+        #: links of different capacities (host links vs spine links);
+        #: ports without an override transmit at ``line_rate_bps``.
+        self.port_rate_bps: Dict[int, float] = {}
         self._weights: Dict[int, float] = {}
         self._ports = [_PortState(StfqRanker({})) for _ in range(num_ports)]
         self._mcast_groups: Dict[int, List[int]] = {}
@@ -222,6 +226,19 @@ class EgressScheduler:
     def rate_limit_of(self, vid: int) -> Optional[float]:
         bucket = self._buckets.get(vid)
         return bucket.rate if bucket is not None else None
+
+    def set_port_rate(self, port: int, rate_bps: float) -> None:
+        """Override one port's transmission rate (its link capacity)."""
+        self._check_port(port)
+        if rate_bps <= 0:
+            raise ConfigError(
+                f"port {port}: rate must be positive, got {rate_bps}")
+        self.port_rate_bps[port] = float(rate_bps)
+
+    def port_rate_of(self, port: int) -> Optional[float]:
+        """The rate ``port`` transmits at (override or the line rate)."""
+        self._check_port(port)
+        return self.port_rate_bps.get(port, self.line_rate_bps)
 
     # -- multicast groups (TrafficManager-compatible) ---------------------------
 
@@ -314,10 +331,12 @@ class EgressScheduler:
 
     # -- scheduling decisions -----------------------------------------------------
 
-    def _tx_seconds(self, nbytes: int) -> float:
-        if self.line_rate_bps is None:
+    def _tx_seconds(self, nbytes: int, port: Optional[int] = None) -> float:
+        rate = self.line_rate_bps if port is None \
+            else self.port_rate_bps.get(port, self.line_rate_bps)
+        if rate is None:
             return 0.0
-        return nbytes * 8.0 / self.line_rate_bps
+        return nbytes * 8.0 / rate
 
     def _choose(self, port: int, now: float,
                 wait_for_tokens: bool) -> Optional[_Choice]:
@@ -371,7 +390,7 @@ class EgressScheduler:
         bucket = self._buckets.get(vid)
         if bucket is not None:
             bucket.consume(len(packet), start)
-        self.port_clock[port] = start + self._tx_seconds(len(packet))
+        self.port_clock[port] = start + self._tx_seconds(len(packet), port)
         self.dequeued += 1
         self.bytes_out[port] += len(packet)
         counters = self.tenant(vid)
@@ -429,6 +448,23 @@ class EgressScheduler:
             budget_bytes -= size
         return served
 
+    def next_departure_at(self, port: int) -> Optional[float]:
+        """When the next packet on ``port`` would finish transmitting.
+
+        ``None`` when the port is idle. This is the event-driven hook
+        the fabric timeline (:mod:`repro.sim.fabric_timeline`) uses to
+        schedule its next service event exactly, instead of polling the
+        scheduler on a fixed tick. Pure query: mutates nothing but the
+        ``throttled_waits`` telemetry (same caveat as scheduling scans).
+        """
+        self._check_port(port)
+        choice = self._choose(port, self.port_clock[port],
+                              wait_for_tokens=True)
+        if choice is None:
+            return None
+        start = max(choice[3], self.port_clock[port])
+        return start + self._tx_seconds(len(choice[2]), port)
+
     def advance_to(self, now: float) -> List[Departure]:
         """Serve every packet whose transmission completes by ``now``.
 
@@ -449,12 +485,22 @@ class EgressScheduler:
                 choice = self._choose(port, self.port_clock[port],
                                       wait_for_tokens=True)
                 if choice is None:
+                    self.port_clock[port] = max(self.port_clock[port],
+                                                now)
                     break
                 start = max(choice[3], self.port_clock[port])
-                if start + self._tx_seconds(len(choice[2])) > now:
+                if start + self._tx_seconds(len(choice[2]), port) > now:
+                    # The next transmission is committed to begin at
+                    # ``start`` (it finishes past ``now``); the port
+                    # idles only up to that instant, never past it —
+                    # otherwise every advance_to call during a long
+                    # transmission would re-delay its start, and a
+                    # busy port fed by frequent events would slip
+                    # unboundedly below line rate.
+                    self.port_clock[port] = max(self.port_clock[port],
+                                                min(now, start))
                     break
                 departures.append(self._serve(choice, port))
-            self.port_clock[port] = max(self.port_clock[port], now)
         for bucket in self._buckets.values():
             bucket.refill(now)
         departures.sort(key=lambda dep: dep.time)

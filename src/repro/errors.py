@@ -74,6 +74,33 @@ class TenantIsolationError(IsolationViolationError):
 
 
 # ---------------------------------------------------------------------------
+# Fabric (multi-switch topologies)
+# ---------------------------------------------------------------------------
+
+class FabricError(ReproError):
+    """Base class for errors in the multi-switch fabric layer."""
+
+
+class TopologyError(FabricError):
+    """Invalid fabric graph construction: unknown switch, port already
+    wired, port out of range, or a self-loop link."""
+
+
+class LinkDownError(FabricError):
+    """A packet or route needed a link that is administratively down.
+
+    Raised both at route computation time (no up path between two
+    switches) and at forwarding time (a scheduled departure left on a
+    fabric port whose link went down after placement)."""
+
+
+class PlacementError(FabricError):
+    """Tenant placement failed: every candidate path crosses a switch
+    with no free module slot, or a user pin names a switch that cannot
+    host the tenant."""
+
+
+# ---------------------------------------------------------------------------
 # Compiler
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,55 @@
+"""Multi-switch fabrics of Menshen pipelines.
+
+The paper evaluates isolation on one switch; this package scales the
+*scenario* to the setting where isolation actually pays off — tenants
+spanning multiple switches that contend on shared links:
+
+* :class:`~repro.fabric.topology.Fabric` /
+  :class:`~repro.fabric.topology.Link` /
+  :class:`~repro.fabric.topology.PortRef` — graph construction with
+  per-link capacity and propagation delay;
+  :func:`~repro.fabric.topology.leaf_spine` builds the canonical
+  two-tier Clos.
+* :class:`~repro.fabric.tenant.FabricTenant` — a facade over
+  :mod:`repro.api` that places one tenant's program on every switch
+  along its route (greedy capacity-aware, or pinned via ``via=``) and
+  installs VLAN-based inter-switch forwarding.
+* :func:`~repro.fabric.forwarding.process_batch` — batched multi-hop
+  forwarding that drains each switch's scheduled egress into the next
+  switch's ingress through the :mod:`repro.engine` batch path.
+* the timed companion lives in :mod:`repro.sim.fabric_timeline`
+  (event-driven, per-link delays, end-to-end latency under
+  cross-switch contention, fed by
+  :class:`repro.traffic.TrafficMatrix` demand).
+
+Quick start::
+
+    from repro.fabric import leaf_spine
+    from repro.modules import calc
+
+    fabric = leaf_spine(leaves=2, spines=1, hosts_per_leaf=4)
+    tenant = fabric.tenant(
+        "calc", calc.P4_SOURCE, vid=1,
+        installer=lambda t, port: calc.install(t, port=port))
+    tenant.place(src=("leaf0", 0), dst=("leaf1", 2))
+    result = fabric.process_batch(
+        [("leaf0", calc.make_packet(1, calc.OP_ADD, 2, 3))])
+    result.delivered_for(1)     # exited on leaf1 host port 2
+"""
+
+from .forwarding import Delivery, FabricResult, LostPacket, process_batch
+from .tenant import FabricTenant
+from .topology import Fabric, FabricSwitch, Link, PortRef, leaf_spine
+
+__all__ = [
+    "Fabric",
+    "FabricSwitch",
+    "FabricTenant",
+    "Link",
+    "PortRef",
+    "leaf_spine",
+    "Delivery",
+    "FabricResult",
+    "LostPacket",
+    "process_batch",
+]

@@ -1,0 +1,165 @@
+"""Batched multi-hop forwarding: waves of engine batches across links.
+
+One fabric batch is processed as repeated *waves*. A wave pushes each
+switch's pending packets through its :class:`~repro.engine.BatchEngine`
+(the real batched serving path — flow cache, sharded dispatch, egress
+scheduler), then drains every output port in the scheduler's
+weighted-fair service order:
+
+* a packet leaving a **host port** exits the fabric — a
+  :class:`Delivery` in fabric-wide service order;
+* a packet leaving a **fabric port** crosses that port's link (bytes
+  accounted per tenant) and becomes the next wave's arrival at the
+  neighbor switch, ingress-port rewritten to the remote end — exactly
+  what you get by manually chaining two switches' engines, which is
+  what ``tests/test_fabric_differential.py`` asserts.
+
+This path is untimed (service order, not timestamps): the timed
+variant with per-link propagation delays and per-port transmission
+clocks is :mod:`repro.sim.fabric_timeline`.
+
+A packet scheduled onto a **downed link** is lost — as on real
+hardware — but never silently: it is recorded in
+:attr:`FabricResult.lost` with the link it died on, and the wave
+continues, so one tenant's failed path cannot discard other tenants'
+healthy in-flight traffic or poison later batches. (The *typed*
+link-down failures, :class:`~repro.errors.LinkDownError`, are raised
+where a caller can act on them: route computation and placement —
+see :meth:`repro.fabric.topology.Fabric.shortest_paths` and
+:meth:`repro.fabric.tenant.FabricTenant.place`.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import FabricError
+from ..net.packet import Packet
+from ..rmt.parser import extract_module_id
+from ..rmt.pipeline import PipelineResult
+from .topology import Fabric
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One packet that exited the fabric on a host port."""
+
+    switch: str
+    port: int
+    vid: int
+    packet: Packet
+
+
+@dataclass(frozen=True)
+class LostPacket:
+    """One packet blackholed by a downed link."""
+
+    link: str
+    switch: str
+    port: int
+    vid: int
+    packet: Packet
+
+
+@dataclass
+class FabricResult:
+    """Outcome of one fabric batch."""
+
+    #: host-port exits, in fabric-wide service order
+    delivered: List[Delivery] = field(default_factory=list)
+    #: per-switch pipeline results, in processing order
+    results: Dict[str, List[PipelineResult]] = field(default_factory=dict)
+    #: packets dropped inside some pipeline, per tenant
+    dropped: Dict[int, int] = field(default_factory=dict)
+    #: packets blackholed by downed links, in service order
+    lost: List[LostPacket] = field(default_factory=list)
+    #: number of forwarding waves the batch needed
+    waves: int = 0
+
+    def delivered_for(self, vid: int) -> List[Packet]:
+        """One tenant's exits, in service order."""
+        return [d.packet for d in self.delivered if d.vid == vid]
+
+    def delivered_bytes(self, vid: int) -> int:
+        return sum(len(d.packet) for d in self.delivered
+                   if d.vid == vid)
+
+    def lost_for(self, vid: int) -> List[LostPacket]:
+        """One tenant's link-down losses."""
+        return [l for l in self.lost if l.vid == vid]
+
+
+def _vid_of(packet: Packet) -> int:
+    """Owner VID from the 802.1Q tag (0 for odd untagged strays)."""
+    try:
+        return extract_module_id(packet)
+    except Exception:
+        return 0
+
+
+def process_batch(fabric: Fabric,
+                  arrivals: Sequence[Tuple[str, Packet]],
+                  max_hops: Optional[int] = None) -> FabricResult:
+    """Drive one batch of ``(switch_name, packet)`` arrivals to exit.
+
+    ``max_hops`` bounds the wave count (default: number of switches,
+    the longest loop-free route); exceeding it raises
+    :class:`~repro.errors.FabricError` instead of looping forever on a
+    misconfigured forwarding cycle.
+    """
+    if max_hops is None:
+        max_hops = max(1, len(fabric.switches()))
+    result = FabricResult()
+    wave: List[Tuple[str, Packet]] = [(name, pkt)
+                                      for name, pkt in arrivals]
+    for _ in range(max_hops + 1):
+        if not wave:
+            break
+        result.waves += 1
+        # Group by switch, preserving arrival order within each.
+        by_switch: Dict[str, List[Packet]] = {}
+        for name, pkt in wave:
+            fabric.switch(name)  # typed error for unknown names
+            by_switch.setdefault(name, []).append(pkt)
+        next_wave: List[Tuple[str, Packet]] = []
+        # Wave order = fabric insertion order, deterministic.
+        for member in fabric.switches():
+            pkts = by_switch.get(member.name)
+            if not pkts:
+                continue
+            outcomes = member.engine.process_batch(pkts)
+            result.results.setdefault(member.name, []).extend(outcomes)
+            for outcome in outcomes:
+                if outcome.dropped:
+                    result.dropped[outcome.module_id] = \
+                        result.dropped.get(outcome.module_id, 0) + 1
+            # Drain every port in weighted-fair service order.
+            tm = member.switch.pipeline.traffic_manager
+            for port in range(member.num_ports):
+                link = member.links.get(port)
+                for pkt in tm.drain(port):
+                    vid = _vid_of(pkt)
+                    if link is None:
+                        result.delivered.append(Delivery(
+                            switch=member.name, port=port, vid=vid,
+                            packet=pkt))
+                    elif not link.up:
+                        # A failed link loses its in-flight traffic —
+                        # recorded loudly, but the wave continues so
+                        # other tenants' healthy packets still forward.
+                        result.lost.append(LostPacket(
+                            link=link.name, switch=member.name,
+                            port=port, vid=vid, packet=pkt))
+                    else:
+                        link.record(vid, len(pkt))
+                        remote = link.other_end(member.name)
+                        pkt.ingress_port = remote.port
+                        next_wave.append((remote.switch, pkt))
+        wave = next_wave
+    else:
+        raise FabricError(
+            f"batch still in flight after {max_hops} hops — "
+            f"forwarding loop? in-flight: "
+            f"{[(name, _vid_of(p)) for name, p in wave[:8]]}")
+    return result

@@ -1,0 +1,101 @@
+"""Tenant placement over a fabric: greedy capacity-aware, user-pinnable.
+
+A fabric tenant's program must run on *every* switch its packets
+traverse — each hop is a full Menshen pipeline, and an unplaced VID is
+dropped by the packet filter as ``unknown_module`` (behavior isolation
+does not stop at the first switch). Placement therefore reduces to
+route selection plus admission along the route:
+
+* **Greedy:** among hop-count-shortest paths, prefer the one whose
+  switches have the most free module slots (ignoring switches that
+  already host this VID — re-using an existing instance is free). This
+  is the CODA-style co-location argument turned into a default: spread
+  tenants across spines instead of piling them onto one.
+* **Pinned:** ``via=("spine1",)`` forces the route through the named
+  switches, in order — the operator override for deliberate
+  co-location or avoidance experiments.
+* **Rejecting:** a path is only viable if every switch on it either
+  already hosts the tenant or has a free VID slot. When no viable path
+  exists (or a pin names a full switch), :class:`PlacementError` is
+  raised *before* anything is admitted — placement never half-lands.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import PlacementError
+from .topology import Fabric
+
+
+def _viable(fabric: Fabric, path: Sequence[str], vid: int) -> bool:
+    """Every switch on ``path`` can host (or already hosts) ``vid``."""
+    return all(_slot_cost(fabric, name, vid) == 0
+               or fabric.switch(name).free_module_slots() > 0
+               for name in path)
+
+
+def _slot_cost(fabric: Fabric, name: str, vid: int) -> int:
+    """1 if placing ``vid`` on ``name`` consumes a fresh slot, else 0."""
+    return 0 if vid in fabric.switch(name).switch.controller.modules \
+        else 1
+
+
+def _score(fabric: Fabric, path: Sequence[str], vid: int
+           ) -> Tuple[int, int, Tuple[str, ...]]:
+    """Sort key: fewest hops, then greedily most free capacity.
+
+    ``-sum(frees)`` prefers the path whose switches keep the most
+    total headroom after this placement (shared endpoints contribute
+    equally to every candidate, so the comparison is effectively over
+    the switches that differ — the spines); the name tuple makes ties
+    deterministic.
+    """
+    frees = [fabric.switch(name).free_module_slots()
+             - _slot_cost(fabric, name, vid) for name in path]
+    return (len(path), -sum(frees), tuple(path))
+
+
+def choose_path(fabric: Fabric, src: str, dst: str, vid: int,
+                via: Optional[Sequence[str]] = None) -> List[str]:
+    """The route a tenant's packets will take from ``src`` to ``dst``.
+
+    ``via`` pins intermediate switches in order; segments between pins
+    are still shortest-path. Raises :class:`PlacementError` when no
+    viable path exists, :class:`LinkDownError` when the graph itself is
+    disconnected.
+    """
+    waypoints = [src, *(via or ()), dst]
+    path: List[str] = [src]
+    for leg_src, leg_dst in zip(waypoints, waypoints[1:]):
+        candidates = fabric.shortest_paths(leg_src, leg_dst)
+        viable = [p for p in candidates if _viable(fabric, p, vid)]
+        if not viable:
+            full = sorted({name for p in candidates for name in p
+                           if _slot_cost(fabric, name, vid)
+                           and fabric.switch(name).free_module_slots()
+                           <= 0})
+            raise PlacementError(
+                f"tenant VID {vid}: no viable path {leg_src!r} -> "
+                f"{leg_dst!r}; over-capacity switches: {full}")
+        best = min(viable, key=lambda p: _score(fabric, p, vid))
+        path.extend(best[1:])
+    if len(set(path)) != len(path):
+        raise PlacementError(
+            f"tenant VID {vid}: pinned route revisits a switch: {path}")
+    return path
+
+
+def validate_host_port(fabric: Fabric, switch: str, port: int,
+                       role: str) -> None:
+    """A demand endpoint must be a host-facing port, not a fabric port."""
+    member = fabric.switch(switch)
+    if not 0 <= port < member.num_ports:
+        raise PlacementError(
+            f"{role} port {switch}:{port} out of range "
+            f"[0, {member.num_ports})")
+    if port in member.links:
+        raise PlacementError(
+            f"{role} port {switch}:{port} is a fabric port "
+            f"(link {member.links[port].name}); attach hosts to "
+            f"unlinked ports {member.host_ports()}")

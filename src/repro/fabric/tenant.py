@@ -1,0 +1,179 @@
+"""``FabricTenant``: one tenant spanning one or more switches.
+
+The fabric-level analogue of :class:`repro.api.Tenant`. A fabric
+tenant owns one VID and one P4 program, fabric-wide: 802.1Q carries
+the VID end-to-end (*VLAN-based inter-switch forwarding* — the same
+tag that names the module inside each pipeline also names the tenant
+on the wire between pipelines), so one placement installs the same
+program on every switch along the tenant's route, with per-switch
+table entries pointing at that switch's next hop.
+
+The per-switch entries come from the tenant's ``installer``, a
+callable ``(tenant_handle, egress_port) -> None`` — e.g.
+``lambda t, port: calc.install(t, port=port)``. On intermediate
+switches the egress port faces the next hop's link; on the final
+switch it is the destination host port. Egress-scheduling knobs
+(:meth:`set_weight`, :meth:`set_rate_limit`) fan out to every placed
+switch and are remembered for switches placed later, mirroring the
+single-switch facade's install-before-or-after-engine semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..api.switch import Tenant, TenantCounters
+from ..errors import PlacementError
+from .placement import choose_path, validate_host_port
+from .topology import Fabric, PortRef
+
+Installer = Callable[[Tenant, int], None]
+
+
+class FabricTenant:
+    """One VID's program, placed across the fabric."""
+
+    def __init__(self, fabric: Fabric, name: str, source: str, vid: int,
+                 installer: Installer):
+        self.fabric = fabric
+        self.name = name
+        self.source = source
+        self.vid = vid
+        self.installer = installer
+        #: switch name -> per-switch tenant handle, in placement order
+        self._handles: Dict[str, Tenant] = {}
+        #: switch name -> egress port the installer was run with there
+        self._egress: Dict[str, int] = {}
+        #: every placed route, in placement order
+        self.routes: List[List[str]] = []
+        self._weight: Optional[float] = None
+        self._rate: Optional[Tuple[float, Optional[float]]] = None
+
+    def __repr__(self) -> str:
+        return (f"FabricTenant(vid={self.vid}, name={self.name!r}, "
+                f"switches={sorted(self._handles)})")
+
+    # -- placement --------------------------------------------------------------
+
+    def place(self, src: Tuple[str, int], dst: Tuple[str, int],
+              via: Optional[Sequence[str]] = None) -> List[str]:
+        """Place this tenant along one ``src -> dst`` demand.
+
+        ``src``/``dst`` are ``(switch, host_port)`` attachment points.
+        Chooses the route (greedy shortest-path, or pinned through
+        ``via``), admits the tenant's program on every switch along it
+        that doesn't host it yet, and installs entries steering to each
+        switch's next hop. Returns the chosen route.
+
+        Placement never half-lands: route viability, next-hop ports,
+        and egress conflicts are all checked *before* any admission or
+        install. A second placement may share switches with an earlier
+        one as long as it steers them the same way (the installer is
+        not re-run there); a shared switch that would need a
+        *different* egress port raises
+        :class:`~repro.errors.PlacementError` — one program instance
+        cannot steer the same packets two ways, so such demands need
+        an installer that discriminates (or separate tenants).
+        """
+        src_ref, dst_ref = PortRef(*src), PortRef(*dst)
+        validate_host_port(self.fabric, src_ref.switch, src_ref.port,
+                           "source")
+        validate_host_port(self.fabric, dst_ref.switch, dst_ref.port,
+                           "destination")
+        path = choose_path(self.fabric, src_ref.switch, dst_ref.switch,
+                           self.vid, via=via)
+        # Plan every switch's egress first (next_hop_port may raise
+        # LinkDownError), then check conflicts — nothing has been
+        # admitted or installed yet if any of this fails.
+        plan = {
+            name: (dst_ref.port if i == len(path) - 1
+                   else self.fabric.next_hop_port(name, path[i + 1]))
+            for i, name in enumerate(path)}
+        for name, egress in plan.items():
+            prev = self._egress.get(name)
+            if prev is not None and prev != egress:
+                raise PlacementError(
+                    f"tenant VID {self.vid} already steers {name!r} "
+                    f"to port {prev}; route {path} needs port "
+                    f"{egress} there — overlapping placements must "
+                    f"agree, or use an installer that discriminates")
+        for name in path:
+            handle = self._admit_on(name)
+            if name not in self._egress:
+                self.installer(handle, plan[name])
+                self._egress[name] = plan[name]
+        self.routes.append(path)
+        return path
+
+    def _admit_on(self, name: str) -> Tenant:
+        handle = self._handles.get(name)
+        if handle is not None:
+            return handle
+        member = self.fabric.switch(name)
+        if member.free_module_slots() <= 0:
+            # choose_path should have filtered this; re-check so a
+            # direct caller still gets the typed error.
+            raise PlacementError(
+                f"switch {name!r} has no free module slot for "
+                f"tenant VID {self.vid}")
+        handle = member.switch.admit(self.name, self.source, vid=self.vid)
+        self._handles[name] = handle
+        if self._weight is not None:
+            handle.set_weight(self._weight)
+        if self._rate is not None:
+            handle.set_rate_limit(*self._rate)
+        return handle
+
+    def handles(self) -> Dict[str, Tenant]:
+        """Per-switch tenant handles, keyed by switch name."""
+        return dict(self._handles)
+
+    def handle(self, switch: str) -> Tenant:
+        handle = self._handles.get(switch)
+        if handle is None:
+            raise PlacementError(
+                f"tenant VID {self.vid} is not placed on {switch!r} "
+                f"(placed on: {sorted(self._handles)})")
+        return handle
+
+    def switches(self) -> List[str]:
+        """Switches hosting this tenant, in placement order."""
+        return list(self._handles)
+
+    # -- egress scheduling (fabric-wide fan-out) ---------------------------------
+
+    def set_weight(self, weight: float) -> "FabricTenant":
+        """Weighted-fair share on every port of every placed switch."""
+        if weight <= 0:
+            raise ValueError(
+                f"tenant {self.vid}: weight must be positive, "
+                f"got {weight}")
+        self._weight = float(weight)
+        for handle in self._handles.values():
+            handle.set_weight(weight)
+        return self
+
+    def set_rate_limit(self, rate_bytes_per_s: float,
+                       burst_bytes: Optional[float] = None
+                       ) -> "FabricTenant":
+        """Token-bucket egress cap, applied on every placed switch."""
+        if rate_bytes_per_s <= 0:
+            raise ValueError(
+                f"tenant {self.vid}: rate must be positive, "
+                f"got {rate_bytes_per_s}")
+        self._rate = (float(rate_bytes_per_s), burst_bytes)
+        for handle in self._handles.values():
+            handle.set_rate_limit(rate_bytes_per_s, burst_bytes)
+        return self
+
+    # -- statistics ---------------------------------------------------------------
+
+    def counters(self) -> TenantCounters:
+        """Fabric-wide counters (summed over placed switches)."""
+        return self.fabric.tenant_counters(self.vid)
+
+    def link_bytes(self) -> Dict[str, int]:
+        """Bytes this tenant has carried on each fabric link."""
+        return {link.name: link.bytes_by_tenant[self.vid]
+                for link in self.fabric.links()
+                if self.vid in link.bytes_by_tenant}

@@ -14,7 +14,12 @@ Functional correctness lives in ``repro.core``; this package answers the
   paper's published cycle counts;
 * a **timeline harness** (:mod:`~repro.sim.timeline`) that drives the
   real behavioral pipeline with timed multi-module traffic to reproduce
-  the Fig. 10 disruption experiment.
+  the Fig. 10 disruption experiment;
+* a **fabric timeline** (:mod:`~repro.sim.fabric_timeline`) that
+  replays a :class:`repro.traffic.TrafficMatrix` through a
+  :class:`repro.fabric.Fabric` on the event kernel, measuring
+  end-to-end per-tenant latency and throughput under cross-switch
+  contention.
 """
 
 from .kernel import Simulator, Event
@@ -30,6 +35,7 @@ from .perf_model import (
 )
 from .latency import LatencyModel, NETFPGA_LATENCY, CORUNDUM_LATENCY
 from .timeline import ReconfigTimelineExperiment, TimelineResult
+from .fabric_timeline import FabricTimelineExperiment, FabricTimelineResult
 
 __all__ = [
     "Simulator",
@@ -48,4 +54,6 @@ __all__ = [
     "CORUNDUM_LATENCY",
     "ReconfigTimelineExperiment",
     "TimelineResult",
+    "FabricTimelineExperiment",
+    "FabricTimelineResult",
 ]

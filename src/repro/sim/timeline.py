@@ -232,12 +232,21 @@ class ReconfigTimelineExperiment:
                 self.pipeline.packet_filter.clear_module_updating(target)
 
         # Let the egress backlog finish transmitting so tail latencies
-        # are measured, not truncated (rate caps keep the clock honest:
-        # each window either serves packets or moves eligibility closer).
+        # are measured, not truncated. A fixed clock+bin_s step is not
+        # enough to guarantee progress (a transmission longer than one
+        # bin — low line rate, big packet — completes past the horizon
+        # and the clock holds at its committed start), so each round
+        # advances at least to the earliest next departure.
         if scheduler is not None:
             collect(scheduler.advance_to(self.duration_s))
             while scheduler.total_queued():
-                collect(scheduler.advance_to(scheduler.clock + self.bin_s))
+                horizon = scheduler.clock + self.bin_s
+                nexts = [scheduler.next_departure_at(port)
+                         for port in range(scheduler.num_ports)]
+                nexts = [t for t in nexts if t is not None]
+                if nexts:
+                    horizon = max(horizon, min(nexts))
+                collect(scheduler.advance_to(horizon))
 
         throughput = {
             m: [b / self.bin_s / 1e9 for b in series]

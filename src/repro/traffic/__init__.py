@@ -9,7 +9,10 @@ Three layers, all seeded and bit-for-bit replayable:
   samplers and typed per-module workloads for the eight evaluated
   modules;
 * **traces** (:mod:`~repro.traffic.pcap`, :mod:`~repro.traffic.replay`)
-  — pcap import/export and replay into pipelines or the batched engine.
+  — pcap import/export and replay into pipelines or the batched engine;
+* **demand matrices** (:mod:`~repro.traffic.matrix`) — per-tenant
+  source→destination offered load between fabric attachment points,
+  with a deterministic merged arrival schedule for the fabric timeline.
 """
 
 from .generator import PacketGenerator, SizeSweep
@@ -31,6 +34,7 @@ from .module_workloads import (
     flow_stream,
     workload,
 )
+from .matrix import Demand, HostRef, TrafficMatrix
 from .pcap import load_pcap, read_pcap, save_pcap, write_pcap
 from .replay import TraceReplayer
 
@@ -45,6 +49,9 @@ __all__ = [
     "ZipfFlows",
     "BurstyOnOff",
     "arrival_times",
+    "Demand",
+    "HostRef",
+    "TrafficMatrix",
     "ModuleWorkload",
     "all_workloads",
     "workload",

@@ -1,0 +1,93 @@
+"""Documentation gates.
+
+Docs are part of the surface: a markdown link that 404s inside the
+repo, or an architecture overview naming a class that no longer
+exists, is a regression the same way a broken example is. Two checks:
+
+1. every relative (intra-repo) markdown link in ``README.md`` and
+   ``docs/*.md`` resolves to a real file;
+2. every fully-qualified ``repro.*`` dotted name quoted in
+   ``docs/architecture.md`` imports — the layer map may only name
+   real code.
+
+The CI docs job runs exactly this file plus the example smokes.
+"""
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).parent.parent
+DOC_FILES = sorted(
+    p for p in [REPO / "README.md", *(REPO / "docs").glob("*.md")]
+    if p.exists())
+
+#: [text](target) — excluding images and absolute URLs
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)#\s]+)(#[^)\s]*)?\)")
+#: `repro.pkg.attr` dotted names quoted in architecture.md
+NAME_RE = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)`")
+
+
+def test_doc_inventory():
+    names = {p.name for p in DOC_FILES}
+    assert {"README.md", "api.md", "architecture.md",
+            "benchmarks.md"} <= names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_intra_repo_links_resolve(doc):
+    text = doc.read_text(encoding="utf-8")
+    broken = []
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        resolved = (doc.parent / target).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken links {broken}"
+
+
+def _architecture_names():
+    text = (REPO / "docs" / "architecture.md").read_text(
+        encoding="utf-8")
+    return sorted({m.group(1) for m in NAME_RE.finditer(text)})
+
+
+def test_architecture_names_are_importable():
+    names = _architecture_names()
+    assert len(names) >= 40, "layer map lost its class inventory"
+    missing = []
+    for dotted in names:
+        parts = dotted.split(".")
+        # longest importable module prefix, then attribute walk
+        obj = None
+        for cut in range(len(parts), 0, -1):
+            try:
+                obj = importlib.import_module(".".join(parts[:cut]))
+                break
+            except ImportError:
+                continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            obj = None
+        if obj is None:
+            missing.append(dotted)
+    assert not missing, f"architecture.md names unknowns: {missing}"
+
+
+def test_every_layer_section_names_classes():
+    text = (REPO / "docs" / "architecture.md").read_text(
+        encoding="utf-8")
+    sections = re.split(r"^## ", text, flags=re.M)[1:]
+    layer_sections = [s for s in sections
+                      if s.startswith(("`repro.", "Auxiliary"))]
+    assert len(layer_sections) >= 8
+    for section in layer_sections:
+        assert NAME_RE.search(section), (
+            f"layer section {section.splitlines()[0]!r} names no "
+            f"importable classes")

@@ -404,3 +404,61 @@ class TestTimelineLatency:
                                                 pad_to=1500))
         result = exp.run()
         assert result.latencies_s == {}
+
+
+class TestEventDrivenClockSemantics:
+    """The advance_to / next_departure_at contract the fabric timeline
+    (and the timeline drain loop) depend on."""
+
+    def test_committed_transmission_is_not_redelayed(self):
+        # A busy port polled by frequent small advances must not slip:
+        # the next transmission's start is committed, so many
+        # advance_to calls during it leave the finish time unchanged.
+        sched = EgressScheduler(num_ports=1, line_rate_bps=1e3)
+        sched.enqueue(pkt(size=1000), 0, module_id=1)  # tx = 8 s
+        finish = sched.next_departure_at(0)
+        assert finish == pytest.approx(8.0)
+        for i in range(100):
+            assert sched.advance_to(0.01 * (i + 1)) == []
+        deps = sched.advance_to(8.0)
+        assert [d.time for d in deps] == [pytest.approx(8.0)]
+
+    def test_next_departure_guarantees_drain_progress(self):
+        # Regression: tx time >> step size. Stepping the clock by a
+        # fixed bin can serve nothing forever; stepping to
+        # next_departure_at always completes the head packet.
+        sched = EgressScheduler(num_ports=2, line_rate_bps=1e3)
+        sched.enqueue(pkt(size=1000, vid=1), 0, module_id=1)
+        sched.enqueue(pkt(size=1000, vid=2), 1, module_id=2)
+        bin_s = 1.0  # < 8 s transmission time
+        rounds = 0
+        while sched.total_queued():
+            rounds += 1
+            assert rounds < 10, "drain loop made no progress"
+            horizon = sched.clock + bin_s
+            nexts = [sched.next_departure_at(p) for p in range(2)]
+            nexts = [t for t in nexts if t is not None]
+            if nexts:
+                horizon = max(horizon, min(nexts))
+            sched.advance_to(horizon)
+
+    def test_idle_port_clock_still_reaches_now(self):
+        sched = EgressScheduler(num_ports=1, line_rate_bps=1e9)
+        sched.advance_to(5.0)
+        assert sched.port_clock[0] == 5.0
+        sched.enqueue(pkt(size=1000), 0, module_id=1)
+        # the packet arrived while the port idled at t=5: it cannot
+        # depart earlier than that
+        assert sched.next_departure_at(0) > 5.0
+
+    def test_per_port_rates_pace_independently(self):
+        sched = EgressScheduler(num_ports=2, line_rate_bps=1e9)
+        sched.set_port_rate(1, 1e6)  # a slow link on port 1
+        sched.enqueue(pkt(size=1000, vid=1), 0, module_id=1)
+        sched.enqueue(pkt(size=1000, vid=2), 1, module_id=2)
+        assert sched.next_departure_at(0) == pytest.approx(8e-6)
+        assert sched.next_departure_at(1) == pytest.approx(8e-3)
+        assert sched.port_rate_of(0) == 1e9
+        assert sched.port_rate_of(1) == 1e6
+        with pytest.raises(ConfigError):
+            sched.set_port_rate(0, -1.0)

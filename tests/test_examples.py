@@ -23,6 +23,7 @@ def test_example_inventory():
         "ternary_firewall_pcap.py",
         "batched_serving.py",
         "egress_isolation.py",
+        "leaf_spine_fabric.py",
     }
 
 
