@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Live fabric churn: tenants update, migrate, and depart mid-run.
+
+The Fig. 10 story at fabric scale. Three tenants stream across a
+3-leaf/1-spine Clos while a churn schedule fires inside the running
+event-driven timeline: tenant 2's program is replaced in place (the
+§4.1 update fanned out across its route), tenant 3 is migrated from
+leaf1 to leaf2 (admit on the new leaf, re-steer the shared spine,
+evict the old leaf), and then tenant 3 departs entirely. Tenant 1 is
+never touched — and never loses a packet or a share.
+
+Run:  python examples/live_churn.py
+"""
+
+from repro.fabric import leaf_spine
+from repro.modules import calc
+from repro.sim import FabricTimelineExperiment
+from repro.traffic import ChurnSchedule, TrafficMatrix
+
+HOSTS = 4
+PACKET_SIZE = 500
+PPS = 5e4
+DURATION_S = 10e-3
+BIN_S = 1e-3
+
+
+def main() -> None:
+    fabric = leaf_spine(leaves=3, spines=1, hosts_per_leaf=HOSTS)
+    tenants = {}
+    matrix = TrafficMatrix()
+    for vid in (1, 2, 3):
+        tenant = fabric.tenant(
+            f"tenant{vid}", calc.P4_SOURCE, vid=vid,
+            installer=lambda t, port: calc.install(t, port=port))
+        tenant.place(("leaf0", vid - 1), ("leaf1", vid - 1))
+        tenants[vid] = tenant
+        matrix.add(vid, ("leaf0", vid - 1), ("leaf1", vid - 1),
+                   offered_bps=PPS * (PACKET_SIZE + 24) * 8,
+                   packet_size=PACKET_SIZE,
+                   make_packet=lambda vid=vid: calc.make_packet(
+                       vid, calc.OP_ADD, vid, vid, pad_to=PACKET_SIZE))
+
+    schedule = ChurnSchedule()
+    schedule.update(2, at_s=3e-3, duration_s=0.5e-3)
+    schedule.migrate(3, at_s=5e-3, duration_s=0.5e-3)
+    schedule.depart(3, at_s=8e-3)
+    print(f"churn schedule: {schedule}")
+
+    def apply(event):
+        print(f"  t={event.time_s * 1e3:.1f} ms: tenant {event.vid} "
+              f"{event.kind}s")
+        if event.kind == "update":
+            tenants[event.vid].update(calc.P4_SOURCE)
+        elif event.kind == "migrate":
+            path = tenants[event.vid].migrate(
+                dst=("leaf2", event.vid - 1))
+            print(f"           new route: {' -> '.join(path)}")
+        elif event.kind == "depart":
+            tenants[event.vid].unload()
+
+    experiment = FabricTimelineExperiment(fabric, matrix,
+                                          duration_s=DURATION_S,
+                                          bin_s=BIN_S)
+    experiment.schedule_churn(schedule, apply)
+    result = experiment.run()
+
+    print("\nper-tenant delivered throughput (Gbps per 1 ms bin):")
+    for vid in (1, 2, 3):
+        series = " ".join(f"{t:4.2f}"
+                          for t in result.throughput_gbps[vid])
+        print(f"  tenant {vid}: {series}")
+        print(f"           delivered={result.delivered.get(vid, 0)} "
+              f"drops={result.drops.get(vid, 0)} "
+              f"mean latency={result.mean_latency_s(vid) * 1e6:.1f} us")
+
+    # The untouched tenant never dropped a packet through all of it.
+    assert result.drops.get(1, 0) == 0
+    assert result.lost_records() == []
+    print("\ntenant 1 (untouched): zero drops through an update, a "
+          "migration, and a departure next door")
+    print(f"tenant 3 now placed on: "
+          f"{tenants[3].switches() or 'nowhere (departed)'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ from ..errors import (
     TransactionError,
 )
 from ..engine import BatchEngine, EgressScheduler, EngineCounters
+from ..exec import ExecutionCore, ExecutionSink, LostRecord
 from ..rmt.entry_types import ActionCall, Exact, Match, TableEntry, Ternary
 from .diagnostics import CompileResult, Diagnostic, StageUsage, compile
 from .switch import (
@@ -64,10 +65,13 @@ __all__ = [
     "RegisterHandle",
     "Transaction",
     "PendingEntry",
-    # batched serving
+    # batched serving + the unified execution core
     "BatchEngine",
     "EngineCounters",
     "EgressScheduler",
+    "ExecutionCore",
+    "ExecutionSink",
+    "LostRecord",
     # errors
     "TenantIsolationError",
     "TransactionError",

@@ -624,11 +624,23 @@ class Tenant:
         return self
 
     def evict(self) -> None:
-        """Unload the module, zero its partitions, release its VID."""
+        """Unload the module, zero its partitions, release its VID.
+
+        A live eviction also scrubs the egress scheduler: the tenant's
+        queued packets are purged (they must not transmit under a VID
+        that no longer exists) and its weight/rate configuration is
+        dropped, so the next tenant assigned this VID starts from a
+        clean scheduler state.
+        """
         if self._vid == SYSTEM_MODULE_ID:
             raise RuntimeInterfaceError("the system module cannot be evicted")
         self._controller.unload_module(self._vid)
         self._switch._tenants.pop(self._vid, None)
+        self._switch._egress_weights.pop(self._vid, None)
+        self._switch._egress_rates.pop(self._vid, None)
+        scheduler = self._switch.egress_scheduler
+        if scheduler is not None:
+            scheduler.purge(self._vid)
         self._entry_log.clear()
         self._switch._notify_reconfigured(self._vid)
 

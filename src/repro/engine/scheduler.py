@@ -223,6 +223,33 @@ class EgressScheduler:
     def clear_rate_limit(self, vid: int) -> None:
         self._buckets.pop(vid, None)
 
+    def purge(self, vid: int) -> List[Packet]:
+        """Remove one tenant's queued packets and egress configuration.
+
+        The lifecycle hook behind a live unload
+        (:meth:`repro.api.Tenant.evict` calls it): an evicted tenant's
+        backlog must not keep transmitting under a VID that no longer
+        exists, and its weight, rate bucket, and STFQ finish tags must
+        not leak to whoever is assigned the VID next. Other tenants'
+        ranks are untouched (virtual time only ever advances on
+        dequeue), so purging a neighbor never reorders surviving
+        traffic. Returns the packets that were dropped from the
+        queues, in (port, arrival) order.
+        """
+        purged: List[Packet] = []
+        for port, state in enumerate(self._ports):
+            fifo = state.fifos.pop(vid, None)
+            if fifo:
+                purged.extend(packet for _rank, _seq, packet in fifo)
+            state.ranker.weights.pop(vid, None)
+            state.ranker._last_finish.pop(vid, None)
+            self._throttle_marks.pop((port, vid), None)
+        self._weights.pop(vid, None)
+        self._buckets.pop(vid, None)
+        self._feed_depth(vid)
+        self.per_tenant.pop(vid, None)
+        return purged
+
     def rate_limit_of(self, vid: int) -> Optional[float]:
         bucket = self._buckets.get(vid)
         return bucket.rate if bucket is not None else None

@@ -1,0 +1,30 @@
+"""``repro.exec`` — the unified execution core.
+
+One :class:`ExecutionCore` owns the engine-drain / departure-routing
+loop every serving frontend used to re-implement: untimed multi-hop
+waves (:func:`repro.fabric.forwarding.process_batch`), exact
+event-driven fabric service
+(:class:`repro.sim.fabric_timeline.FabricTimelineExperiment`), and the
+clock-driven single-switch Fig. 10 timeline
+(:class:`repro.sim.timeline.ReconfigTimelineExperiment`). The core is
+parameterized by topology (a fabric's members, or one switch wrapped
+in :class:`SwitchMember`) and timing policy (waves, a
+:class:`repro.sim.kernel.Simulator`, or explicit clock advances);
+frontends are result shaping over an :class:`ExecutionSink`.
+
+:class:`~repro.exec.records.LostRecord` is the shared typed currency
+for link-down losses, so the untimed and timed paths report dropped
+traffic in one comparable shape.
+"""
+
+from .core import ExecutionCore, ExecutionSink, SwitchMember, vid_of
+from .records import LostRecord, summarize_lost
+
+__all__ = [
+    "ExecutionCore",
+    "ExecutionSink",
+    "SwitchMember",
+    "vid_of",
+    "LostRecord",
+    "summarize_lost",
+]

@@ -1,0 +1,36 @@
+"""Typed records shared by every serving frontend.
+
+The two fabric serving paths used to report link-down losses in
+different shapes — :class:`repro.fabric.forwarding.FabricResult` kept a
+list of ``(packet, link)`` pairs, the event-driven
+:class:`repro.sim.fabric_timeline.FabricTimelineResult` a bare
+``module_id -> count`` dict with the link identity thrown away. One
+experiment could not be checked against the other. :class:`LostRecord`
+is the common currency: *which tenant* lost *how many* packets on
+*which link*, aggregated and deterministically ordered, so the untimed
+and the timed path can be asserted to agree on the same dropped
+traffic (``tests/test_exec_core.py`` does exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class LostRecord:
+    """Link-down losses of one tenant on one link."""
+
+    vid: int
+    link: str
+    count: int
+
+
+def summarize_lost(pairs: Iterable[Tuple[int, str]]) -> List[LostRecord]:
+    """Aggregate ``(vid, link name)`` loss events into sorted records."""
+    counts: Dict[Tuple[int, str], int] = {}
+    for vid, link in pairs:
+        counts[(vid, link)] = counts.get((vid, link), 0) + 1
+    return [LostRecord(vid=vid, link=link, count=count)
+            for (vid, link), count in sorted(counts.items())]

@@ -1,10 +1,11 @@
 """Batched multi-hop forwarding: waves of engine batches across links.
 
-One fabric batch is processed as repeated *waves*. A wave pushes each
-switch's pending packets through its :class:`~repro.engine.BatchEngine`
-(the real batched serving path — flow cache, sharded dispatch, egress
-scheduler), then drains every output port in the scheduler's
-weighted-fair service order:
+One fabric batch is processed as repeated *waves* by the unified
+execution core (:class:`repro.exec.ExecutionCore` under its untimed
+policy). A wave pushes each switch's pending packets through its
+:class:`~repro.engine.BatchEngine` (the real batched serving path —
+flow cache, sharded dispatch, egress scheduler), then drains every
+output port in the scheduler's weighted-fair service order:
 
 * a packet leaving a **host port** exits the fabric — a
   :class:`Delivery` in fabric-wide service order;
@@ -16,7 +17,9 @@ weighted-fair service order:
 
 This path is untimed (service order, not timestamps): the timed
 variant with per-link propagation delays and per-port transmission
-clocks is :mod:`repro.sim.fabric_timeline`.
+clocks is :mod:`repro.sim.fabric_timeline` — a different timing policy
+over the *same* core, which is why the two report the same lost
+traffic (:meth:`FabricResult.lost_records`).
 
 A packet scheduled onto a **downed link** is lost — as on real
 hardware — but never silently: it is recorded in
@@ -34,9 +37,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import FabricError
+from ..exec import ExecutionCore, ExecutionSink, LostRecord, summarize_lost
+from ..exec import vid_of as _vid_of  # noqa: F401  (compat re-export)
 from ..net.packet import Packet
-from ..rmt.parser import extract_module_id
 from ..rmt.pipeline import PipelineResult
 from .topology import Fabric
 
@@ -89,13 +92,38 @@ class FabricResult:
         """One tenant's link-down losses."""
         return [l for l in self.lost if l.vid == vid]
 
+    def lost_records(self) -> List[LostRecord]:
+        """Link-down losses in the shared typed shape (vid, link,
+        count) — directly comparable with
+        :meth:`repro.sim.fabric_timeline.FabricTimelineResult.
+        lost_records`."""
+        return summarize_lost((l.vid, l.link) for l in self.lost)
 
-def _vid_of(packet: Packet) -> int:
-    """Owner VID from the 802.1Q tag (0 for odd untagged strays)."""
-    try:
-        return extract_module_id(packet)
-    except Exception:
-        return 0
+
+class _ResultSink(ExecutionSink):
+    """Shapes the core's event stream into a :class:`FabricResult`."""
+
+    def __init__(self, result: FabricResult):
+        self.result = result
+
+    def on_result(self, member: str, outcome) -> None:
+        self.result.results.setdefault(member, []).append(outcome)
+
+    def on_drop(self, vid: int) -> None:
+        self.result.dropped[vid] = self.result.dropped.get(vid, 0) + 1
+
+    def on_deliver(self, member: str, port: int, vid: int,
+                   packet: Packet, time: float) -> None:
+        self.result.delivered.append(Delivery(
+            switch=member, port=port, vid=vid, packet=packet))
+
+    def on_lost(self, member: str, port: int, vid: int, packet: Packet,
+                link: str, time: float) -> None:
+        # A failed link loses its in-flight traffic — recorded loudly,
+        # but the wave continues so other tenants' healthy packets
+        # still forward.
+        self.result.lost.append(LostPacket(
+            link=link, switch=member, port=port, vid=vid, packet=packet))
 
 
 def process_batch(fabric: Fabric,
@@ -108,58 +136,7 @@ def process_batch(fabric: Fabric,
     :class:`~repro.errors.FabricError` instead of looping forever on a
     misconfigured forwarding cycle.
     """
-    if max_hops is None:
-        max_hops = max(1, len(fabric.switches()))
     result = FabricResult()
-    wave: List[Tuple[str, Packet]] = [(name, pkt)
-                                      for name, pkt in arrivals]
-    for _ in range(max_hops + 1):
-        if not wave:
-            break
-        result.waves += 1
-        # Group by switch, preserving arrival order within each.
-        by_switch: Dict[str, List[Packet]] = {}
-        for name, pkt in wave:
-            fabric.switch(name)  # typed error for unknown names
-            by_switch.setdefault(name, []).append(pkt)
-        next_wave: List[Tuple[str, Packet]] = []
-        # Wave order = fabric insertion order, deterministic.
-        for member in fabric.switches():
-            pkts = by_switch.get(member.name)
-            if not pkts:
-                continue
-            outcomes = member.engine.process_batch(pkts)
-            result.results.setdefault(member.name, []).extend(outcomes)
-            for outcome in outcomes:
-                if outcome.dropped:
-                    result.dropped[outcome.module_id] = \
-                        result.dropped.get(outcome.module_id, 0) + 1
-            # Drain every port in weighted-fair service order.
-            tm = member.switch.pipeline.traffic_manager
-            for port in range(member.num_ports):
-                link = member.links.get(port)
-                for pkt in tm.drain(port):
-                    vid = _vid_of(pkt)
-                    if link is None:
-                        result.delivered.append(Delivery(
-                            switch=member.name, port=port, vid=vid,
-                            packet=pkt))
-                    elif not link.up:
-                        # A failed link loses its in-flight traffic —
-                        # recorded loudly, but the wave continues so
-                        # other tenants' healthy packets still forward.
-                        result.lost.append(LostPacket(
-                            link=link.name, switch=member.name,
-                            port=port, vid=vid, packet=pkt))
-                    else:
-                        link.record(vid, len(pkt))
-                        remote = link.other_end(member.name)
-                        pkt.ingress_port = remote.port
-                        next_wave.append((remote.switch, pkt))
-        wave = next_wave
-    else:
-        raise FabricError(
-            f"batch still in flight after {max_hops} hops — "
-            f"forwarding loop? in-flight: "
-            f"{[(name, _vid_of(p)) for name, p in wave[:8]]}")
+    core = ExecutionCore.for_fabric(fabric, sink=_ResultSink(result))
+    result.waves = core.run_waves(arrivals, max_hops=max_hops)
     return result

@@ -16,6 +16,18 @@ switch it is the destination host port. Egress-scheduling knobs
 (:meth:`set_weight`, :meth:`set_rate_limit`) fan out to every placed
 switch and are remembered for switches placed later, mirroring the
 single-switch facade's install-before-or-after-engine semantics.
+
+The lifecycle does not end at :meth:`~FabricTenant.place`: the
+runtime controller's §4.1 load/update/unload procedures fan out across
+the route mid-run — :meth:`~FabricTenant.update` replaces the program
+on every placed switch (hitless for neighbors),
+:meth:`~FabricTenant.unload` evicts it everywhere and releases the VID
+fabric-wide, and :meth:`~FabricTenant.migrate` moves the route to a
+new destination, admitting on new switches, re-steering shared ones,
+and evicting the abandoned tail. All three compose with the
+event-driven timeline's
+:class:`~repro.sim.fabric_timeline.FabricReconfigEvent`, so churn can
+fire inside a running experiment.
 """
 
 from __future__ import annotations
@@ -123,6 +135,161 @@ class FabricTenant:
         if self._rate is not None:
             handle.set_rate_limit(*self._rate)
         return handle
+
+    # -- lifecycle (fabric-wide §4.1 fan-out) ------------------------------------
+
+    def update(self, source: str,
+               installer: Optional[Installer] = None) -> "FabricTenant":
+        """Replace this tenant's program on every placed switch.
+
+        Runs the controller's §4.1 update procedure per switch (bitmap
+        bit set, configuration rewritten through the daisy chain,
+        bitmap cleared — other tenants keep forwarding throughout),
+        then re-runs the installer with each switch's recorded egress
+        port, since an update wipes the module's table entries. Pass
+        ``installer=`` when the new program needs different steering
+        entries (e.g. a CALC→QoS swap). A failure mid-fan-out is
+        rolled back to the old program on every switch before the
+        exception propagates — the route never stays mixed.
+        """
+        if not self._handles:
+            raise PlacementError(
+                f"tenant VID {self.vid} is not placed anywhere; "
+                f"place() it before update()")
+        install = installer if installer is not None else self.installer
+        # Commit self.source/self.installer only after the fan-out
+        # succeeds: a program that fails to compile raises out of the
+        # first handle.update (before any teardown), leaving both the
+        # switches and this object on the old program. A *mid-route*
+        # failure (the source compiles, but one switch's reinstall is
+        # rejected — §4.1 update is teardown + install, and the
+        # install half can fail on fragmentation) is rolled back:
+        # switches already moved to the new program are updated back,
+        # and a switch left empty by the failed install re-admits the
+        # old program, so the route never stays mixed.
+        updated: List[str] = []
+        try:
+            for name, handle in self._handles.items():
+                handle.update(source)
+                install(handle, self._egress[name])
+                updated.append(name)
+        except BaseException:
+            for name in list(self._handles):
+                member = self.fabric.switch(name)
+                if self.vid not in member.switch.controller.modules:
+                    del self._handles[name]   # dead handle
+                    restored = self._admit_on(name)
+                    self.installer(restored, self._egress[name])
+                elif name in updated:
+                    self._handles[name].update(self.source)
+                    self.installer(self._handles[name],
+                                   self._egress[name])
+            raise
+        self.source = source
+        self.installer = install
+        return self
+
+    def unload(self) -> None:
+        """Evict this tenant from every placed switch.
+
+        Per switch: the §4.1 teardown (invalidate and zero everything
+        the module owned), an egress-scheduler purge of its queued
+        packets and weight/rate state, and the VID slot release. The
+        VID is then free fabric-wide — a new tenant may claim it.
+        """
+        for handle in list(self._handles.values()):
+            handle.evict()
+        self._handles.clear()
+        self._egress.clear()
+        self.routes.clear()
+        self.fabric._release_tenant(self.vid)
+
+    def migrate(self, dst: Tuple[str, int],
+                via: Optional[Sequence[str]] = None) -> List[str]:
+        """Move this tenant's route to a new destination, mid-run.
+
+        Requires exactly one placed route (the unambiguous case; a
+        multi-demand tenant must be re-placed explicitly). The new
+        route keeps the current source switch. Three kinds of switch
+        fall out of the diff against the old route, each handled with
+        the matching §4.1 procedure:
+
+        * **new** switches — load: admit the program and install
+          steering toward the next hop;
+        * **shared** switches whose next hop changed — update: rewrite
+          the program in place (which clears its entries) and
+          re-install steering toward the new next hop;
+        * **abandoned** switches — unload: evict, zero partitions,
+          purge queued egress.
+
+        Viability (route, next-hop ports, free slots on new switches)
+        is checked before anything mutates, and the load phase admits
+        all new switches as a group — if one rejects the program
+        (fragmented CAM despite a free VID slot), the already-admitted
+        ones are evicted again — so a failed migration leaves the old
+        placement intact. Returns the new route.
+        """
+        if len(self.routes) != 1:
+            raise PlacementError(
+                f"tenant VID {self.vid}: migrate() needs exactly one "
+                f"placed route, found {len(self.routes)} — re-place "
+                f"multi-demand tenants explicitly")
+        old_path = self.routes[0]
+        dst_ref = PortRef(*dst)
+        validate_host_port(self.fabric, dst_ref.switch, dst_ref.port,
+                           "destination")
+        path = choose_path(self.fabric, old_path[0], dst_ref.switch,
+                           self.vid, via=via)
+        # Plan first (next_hop_port may raise LinkDownError), check
+        # capacity on the switches to be admitted — nothing has
+        # changed yet if any of this fails.
+        plan = {
+            name: (dst_ref.port if i == len(path) - 1
+                   else self.fabric.next_hop_port(name, path[i + 1]))
+            for i, name in enumerate(path)}
+        for name in path:
+            if name not in self._handles and \
+                    self.fabric.switch(name).free_module_slots() <= 0:
+                raise PlacementError(
+                    f"tenant VID {self.vid}: cannot migrate — switch "
+                    f"{name!r} has no free module slot")
+        # Load phase: admit on every new switch before any steering
+        # changes, rolling the admissions back as a group if a later
+        # one fails (a free VID slot does not guarantee admission —
+        # fragmented CAM can still reject the program), so a failed
+        # migration leaves the old placement intact.
+        admitted: List[str] = []
+        try:
+            for name in path:
+                if name not in self._handles:
+                    self._admit_on(name)
+                    admitted.append(name)
+        except BaseException:
+            for name in admitted:
+                self._handles.pop(name).evict()
+            raise
+        # Steer phase: install on the new switches, re-steer shared
+        # ones whose next hop changed.
+        for name in path:
+            handle = self._handles[name]
+            want = plan[name]
+            prev = self._egress.get(name)
+            if prev is None:
+                self.installer(handle, want)
+                self._egress[name] = want
+            elif prev != want:
+                # Re-steer: §4.1 update clears the module's entries,
+                # then the installer points them at the new next hop.
+                handle.update(self.source)
+                self.installer(handle, want)
+                self._egress[name] = want
+        # Unload phase: evict the abandoned tail of the old route.
+        for name in [n for n in old_path if n not in path]:
+            handle = self._handles.pop(name)
+            handle.evict()
+            self._egress.pop(name, None)
+        self.routes = [path]
+        return path
 
     def handles(self) -> Dict[str, Tenant]:
         """Per-switch tenant handles, keyed by switch name."""

@@ -305,6 +305,11 @@ class Fabric:
     def tenants(self) -> List["FabricTenant"]:
         return list(self._tenants.values())
 
+    def _release_tenant(self, vid: int) -> None:
+        """Return a VID to the fabric pool (FabricTenant.unload calls
+        this after evicting every per-switch instance)."""
+        self._tenants.pop(vid, None)
+
     # -- statistics --------------------------------------------------------------
 
     def stats(self) -> PipelineStats:

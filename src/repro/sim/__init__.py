@@ -35,7 +35,11 @@ from .perf_model import (
 )
 from .latency import LatencyModel, NETFPGA_LATENCY, CORUNDUM_LATENCY
 from .timeline import ReconfigTimelineExperiment, TimelineResult
-from .fabric_timeline import FabricTimelineExperiment, FabricTimelineResult
+from .fabric_timeline import (
+    FabricReconfigEvent,
+    FabricTimelineExperiment,
+    FabricTimelineResult,
+)
 
 __all__ = [
     "Simulator",
@@ -54,6 +58,7 @@ __all__ = [
     "CORUNDUM_LATENCY",
     "ReconfigTimelineExperiment",
     "TimelineResult",
+    "FabricReconfigEvent",
     "FabricTimelineExperiment",
     "FabricTimelineResult",
 ]

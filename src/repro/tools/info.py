@@ -1,17 +1,73 @@
 """``python -m repro.tools.info`` — print the hardware parameters.
 
 Dumps the Table-5 design point (and the derived geometry) the library
-models, plus the table inventory used by the area models.
+models, plus the table inventory used by the area models. ``--json``
+emits the same inventory as machine-readable JSON for downstream
+tooling (dashboards, config generators) instead of the human table.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
 from ..rmt.params import CORUNDUM_PARAMS, DEFAULT_PARAMS, NETFPGA_PARAMS
 
 
+def info_dict() -> dict:
+    """The Table-5 parameters and table inventory, as plain data."""
+    p = DEFAULT_PARAMS
+    return {
+        "params": {
+            "containers_per_type": p.containers_per_type,
+            "container_sizes": list(p.container_sizes),
+            "metadata_bytes": p.metadata_bytes,
+            "phv_bytes": p.phv_bytes,
+            "num_containers": p.num_containers,
+            "parse_actions_per_entry": p.parse_actions_per_entry,
+            "parse_action_bits": p.parse_action_bits,
+            "parser_entry_bits": p.parser_entry_bits,
+            "parser_table_depth": p.parser_table_depth,
+            "key_bytes": p.key_bytes,
+            "key_bits": p.key_bits,
+            "cam_entry_bits": p.cam_entry_bits,
+            "match_entries_per_stage": p.match_entries_per_stage,
+            "alu_action_bits": p.alu_action_bits,
+            "vliw_entry_bits": p.vliw_entry_bits,
+            "vliw_entries_per_stage": p.vliw_entries_per_stage,
+            "stateful_words_per_stage": p.stateful_words_per_stage,
+            "stateful_word_bits": p.stateful_word_bits,
+            "segment_entry_bits": p.segment_entry_bits,
+            "segment_table_depth": p.segment_table_depth,
+            "num_stages": p.num_stages,
+            "module_id_bits": p.module_id_bits,
+            "max_modules": p.max_modules,
+        },
+        "platforms": {
+            name: {"clock_mhz": plat.clock_mhz,
+                   "bus_width_bits": plat.bus_width_bits,
+                   "bus_bytes": plat.bus_bytes}
+            for name, plat in (("netfpga_sume", NETFPGA_PARAMS),
+                               ("corundum", CORUNDUM_PARAMS))
+        },
+        "table_inventory": p.table_inventory(),
+    }
+
+
 def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-info",
+        description="Menshen prototype hardware parameters "
+                    "(paper Table 5)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of "
+                             "the human-readable table")
+    args = parser.parse_args(argv)
+    if args.json:
+        print(json.dumps(info_dict(), indent=2, sort_keys=True))
+        return 0
+
     p = DEFAULT_PARAMS
     print("Menshen prototype hardware parameters (paper Table 5)")
     print(f"  PHV: {p.containers_per_type} containers each of "

@@ -12,7 +12,10 @@ Three layers, all seeded and bit-for-bit replayable:
   — pcap import/export and replay into pipelines or the batched engine;
 * **demand matrices** (:mod:`~repro.traffic.matrix`) — per-tenant
   source→destination offered load between fabric attachment points,
-  with a deterministic merged arrival schedule for the fabric timeline.
+  with a deterministic merged arrival schedule for the fabric timeline;
+* **churn** (:mod:`~repro.traffic.churn`) — deterministic tenant
+  *lifecycle* schedules (arrive / update / migrate / depart with §4.1
+  windows) that the fabric timeline fires mid-run.
 """
 
 from .generator import PacketGenerator, SizeSweep
@@ -34,6 +37,7 @@ from .module_workloads import (
     flow_stream,
     workload,
 )
+from .churn import CHURN_KINDS, ChurnEvent, ChurnSchedule
 from .matrix import Demand, HostRef, TrafficMatrix
 from .pcap import load_pcap, read_pcap, save_pcap, write_pcap
 from .replay import TraceReplayer
@@ -52,6 +56,9 @@ __all__ = [
     "Demand",
     "HostRef",
     "TrafficMatrix",
+    "CHURN_KINDS",
+    "ChurnEvent",
+    "ChurnSchedule",
     "ModuleWorkload",
     "all_workloads",
     "workload",

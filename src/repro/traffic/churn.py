@@ -1,0 +1,149 @@
+"""Tenant churn workloads: arrivals, updates, migrations, departures.
+
+A :class:`ChurnSchedule` is the lifecycle analogue of a
+:class:`~repro.traffic.matrix.TrafficMatrix`: where the matrix says
+*which packets* are offered when, the schedule says *which tenants*
+arrive, update, migrate, and depart when. Like every workload in this
+package it is deterministic and fabric-agnostic — events name tenants
+by VID and carry a §4.1 window duration, and the binding to actual
+lifecycle calls (``FabricTenant.update`` / ``migrate`` / ``unload`` or
+a fresh placement) happens where the fabric is in scope:
+:meth:`repro.sim.fabric_timeline.FabricTimelineExperiment.
+schedule_churn` maps each event to a
+:class:`~repro.sim.fabric_timeline.FabricReconfigEvent` and hands it
+to a caller-supplied apply function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+
+#: The lifecycle verbs a churn event may carry.
+CHURN_KINDS = ("arrive", "update", "migrate", "depart")
+
+
+@dataclass(frozen=True, order=True)
+class ChurnEvent:
+    """One tenant-lifecycle action at a virtual time.
+
+    ``duration_s`` is the §4.1 reconfiguration window the timeline
+    holds for the tenant (its packets drop for exactly that long;
+    everyone else keeps forwarding) — zero means the action itself is
+    the only disruption.
+    """
+
+    time_s: float
+    vid: int
+    kind: str
+    duration_s: float = 0.0
+
+
+class ChurnSchedule:
+    """A deterministic schedule of tenant-lifecycle events."""
+
+    def __init__(self) -> None:
+        self.events: List[ChurnEvent] = []
+
+    def add(self, kind: str, vid: int, at_s: float,
+            duration_s: float = 0.0) -> ChurnEvent:
+        if kind not in CHURN_KINDS:
+            raise ConfigError(
+                f"unknown churn kind {kind!r} (one of {CHURN_KINDS})")
+        if at_s < 0:
+            raise ConfigError(f"churn time must be >= 0, got {at_s}")
+        if duration_s < 0:
+            raise ConfigError(
+                f"churn window must be >= 0, got {duration_s}")
+        event = ChurnEvent(time_s=at_s, vid=vid, kind=kind,
+                           duration_s=duration_s)
+        self.events.append(event)
+        return event
+
+    # -- verb helpers -----------------------------------------------------------
+
+    def arrive(self, vid: int, at_s: float,
+               duration_s: float = 0.0) -> ChurnEvent:
+        """A tenant is placed (loaded along its route) at ``at_s``."""
+        return self.add("arrive", vid, at_s, duration_s)
+
+    def update(self, vid: int, at_s: float,
+               duration_s: float = 0.0) -> ChurnEvent:
+        """A tenant's program is replaced in place at ``at_s``."""
+        return self.add("update", vid, at_s, duration_s)
+
+    def migrate(self, vid: int, at_s: float,
+                duration_s: float = 0.0) -> ChurnEvent:
+        """A tenant's route moves to a new destination at ``at_s``."""
+        return self.add("migrate", vid, at_s, duration_s)
+
+    def depart(self, vid: int, at_s: float,
+               duration_s: float = 0.0) -> ChurnEvent:
+        """A tenant is unloaded everywhere at ``at_s``."""
+        return self.add("depart", vid, at_s, duration_s)
+
+    # -- queries ----------------------------------------------------------------
+
+    def sorted_events(self) -> List[ChurnEvent]:
+        """Events in firing order (time, then VID, then verb)."""
+        return sorted(self.events)
+
+    def for_vid(self, vid: int) -> List[ChurnEvent]:
+        return [e for e in self.sorted_events() if e.vid == vid]
+
+    def churned_vids(self) -> List[int]:
+        """VIDs touched by any event, ascending — the complement is
+        the set an isolation gate must hold steady."""
+        return sorted({e.vid for e in self.events})
+
+    def window(self, vid: int, kind: Optional[str] = None
+               ) -> "tuple[float, float]":
+        """The ``(start, end)`` span covering one tenant's events
+        (optionally of one kind) including their §4.1 windows — the
+        bins an isolation assertion should examine."""
+        events = [e for e in self.for_vid(vid)
+                  if kind is None or e.kind == kind]
+        if not events:
+            raise ConfigError(
+                f"no churn events for VID {vid}"
+                + (f" of kind {kind!r}" if kind else ""))
+        return (min(e.time_s for e in events),
+                max(e.time_s + e.duration_s for e in events))
+
+    # -- generators -------------------------------------------------------------
+
+    @classmethod
+    def staggered(cls, vids: Sequence[int], start_s: float, gap_s: float,
+                  update_after_s: Optional[float] = None,
+                  lifetime_s: Optional[float] = None,
+                  window_s: float = 0.0) -> "ChurnSchedule":
+        """Evenly staggered lifecycles: tenant ``i`` arrives at
+        ``start_s + i * gap_s``, optionally updates ``update_after_s``
+        later (holding a ``window_s`` drop window) and departs after
+        ``lifetime_s`` — the canonical arriving/updating/departing
+        churn workload, fully deterministic.
+        """
+        if gap_s < 0:
+            raise ConfigError(f"gap must be >= 0, got {gap_s}")
+        schedule = cls()
+        for i, vid in enumerate(vids):
+            t0 = start_s + i * gap_s
+            schedule.arrive(vid, t0)
+            if update_after_s is not None:
+                schedule.update(vid, t0 + update_after_s,
+                                duration_s=window_s)
+            if lifetime_s is not None:
+                schedule.depart(vid, t0 + lifetime_s)
+        return schedule
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        kinds: Dict[str, int] = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        return (f"ChurnSchedule({len(self.events)} events: "
+                f"{', '.join(f'{k}={v}' for k, v in sorted(kinds.items()))})")

@@ -24,6 +24,7 @@ def test_example_inventory():
         "batched_serving.py",
         "egress_isolation.py",
         "leaf_spine_fabric.py",
+        "live_churn.py",
     }
 
 

@@ -1,0 +1,195 @@
+"""The unified execution core (:mod:`repro.exec`).
+
+The packet-for-packet equivalence of the refactored frontends is
+enforced by the existing differential suites
+(``tests/test_fabric_differential.py``,
+``tests/test_engine_differential.py``); this file covers the core's
+own surface — departure routing against stub topologies, the timing
+policies' guard rails — and the unified lost-traffic reporting: the
+untimed wave path and the event-driven timeline must report the *same*
+typed :class:`repro.exec.LostRecord` set for the same dropped traffic.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import FabricError
+from repro.exec import (
+    ExecutionCore,
+    ExecutionSink,
+    LostRecord,
+    SwitchMember,
+    summarize_lost,
+    vid_of,
+)
+from repro.fabric import leaf_spine
+from repro.modules import calc
+from repro.net.packet import Packet
+from repro.sim import FabricTimelineExperiment
+from repro.traffic import TrafficMatrix
+
+PACKET_SIZE = 1000
+HOSTS = 4
+
+
+# ---------------------------------------------------------------- stubs
+
+class _RecordingSink(ExecutionSink):
+    def __init__(self):
+        self.delivered = []
+        self.lost = []
+
+    def on_deliver(self, member, port, vid, packet, time):
+        self.delivered.append((member, port, vid, time))
+
+    def on_lost(self, member, port, vid, packet, link, time):
+        self.lost.append((member, port, vid, link, time))
+
+
+class _StubLink:
+    def __init__(self, name="leafA:1—leafB:2", up=True, delay_s=2e-6):
+        self.name = name
+        self.up = up
+        self.delay_s = delay_s
+        self.recorded = []
+
+    def record(self, vid, nbytes):
+        self.recorded.append((vid, nbytes))
+
+    def other_end(self, _name):
+        return SimpleNamespace(switch="leafB", port=2)
+
+
+def _stub_member(links):
+    return SimpleNamespace(name="leafA", links=links, engine=None,
+                           scheduler=None, num_ports=4)
+
+
+def _packet(vid=1, i=0):
+    return calc.make_packet(vid, calc.OP_ADD, i, i + 1,
+                            pad_to=PACKET_SIZE)
+
+
+# ---------------------------------------------------------------- routing
+
+class TestRouting:
+    def test_host_port_delivers(self):
+        sink = _RecordingSink()
+        member = _stub_member(links={})
+        core = ExecutionCore([member], sink=sink)
+        assert core.route(member, 3, _packet(), vid=1, time=0.5) is None
+        assert sink.delivered == [("leafA", 3, 1, 0.5)]
+
+    def test_down_link_loses_with_link_name(self):
+        sink = _RecordingSink()
+        link = _StubLink(up=False)
+        member = _stub_member(links={1: link})
+        core = ExecutionCore([member], sink=sink)
+        assert core.route(member, 1, _packet(), vid=7) is None
+        assert sink.lost == [("leafA", 1, 7, link.name, 0.0)]
+        assert link.recorded == []  # lost traffic carries no bytes
+
+    def test_up_link_forwards_with_rewrite_and_accounting(self):
+        link = _StubLink(up=True, delay_s=3e-6)
+        member = _stub_member(links={1: link})
+        core = ExecutionCore([member])
+        packet = _packet(vid=5)
+        target = core.route(member, 1, packet, vid=5, time=1.0)
+        assert target == ("leafB", packet, 1.0 + 3e-6)
+        assert packet.ingress_port == 2  # remote end's port
+        assert link.recorded == [(5, len(packet))]
+
+    def test_timed_forwarding_without_a_simulator_is_an_error(self):
+        member = _stub_member(links={1: _StubLink()})
+        core = ExecutionCore([member])  # sim=None
+        dep = SimpleNamespace(port=1, packet=_packet(), module_id=1,
+                              time=0.0)
+        with pytest.raises(FabricError, match="no simulator"):
+            core.route_departures(member, [dep])
+
+    def test_unknown_member_is_a_typed_error(self):
+        core = ExecutionCore([_stub_member(links={})])
+        with pytest.raises(FabricError, match="stranger"):
+            core.member("stranger")
+
+    def test_vid_of_falls_back_to_system_vid(self):
+        assert vid_of(Packet(bytes(64))) == 0
+        assert vid_of(_packet(vid=9)) == 9
+
+
+class TestAdapters:
+    def test_switch_member_is_a_degenerate_topology(self):
+        scheduler = SimpleNamespace(num_ports=6)
+        member = SwitchMember("sw", engine=None, scheduler=scheduler)
+        assert member.num_ports == 6
+        assert member.links == {}
+        assert "sw" in repr(member)
+
+    def test_default_sink_observes_nothing(self):
+        sink = ExecutionSink()  # every hook is a no-op
+        sink.on_result("m", None)
+        sink.on_drop(1)
+        sink.on_deliver("m", 0, 1, _packet(), 0.0)
+        sink.on_lost("m", 0, 1, _packet(), "l", 0.0)
+
+
+class TestSummarizeLost:
+    def test_aggregates_and_orders(self):
+        records = summarize_lost([(2, "l1"), (1, "l0"), (2, "l1"),
+                                  (1, "l1")])
+        assert records == [LostRecord(1, "l0", 1), LostRecord(1, "l1", 1),
+                           LostRecord(2, "l1", 2)]
+
+
+# ------------------------------------------- lost-record unification gate
+
+def _lossy_fabric():
+    """2-leaf/1-spine with one tenant whose uplink fails post-placement."""
+    fabric = leaf_spine(leaves=2, spines=1, hosts_per_leaf=HOSTS)
+    tenant = fabric.tenant(
+        "calc", calc.P4_SOURCE, vid=1,
+        installer=lambda t, port: calc.install(t, port=port))
+    tenant.place(("leaf0", 0), ("leaf1", 1))
+    fabric.set_link_state("leaf0", "spine0", up=False)
+    return fabric
+
+
+class TestLostRecordUnification:
+    """The satellite contract: both serving paths, one loss shape."""
+
+    N = 20
+
+    def test_wave_and_timeline_paths_agree_on_dropped_traffic(self):
+        # Untimed waves.
+        wave_result = _lossy_fabric().process_batch(
+            [("leaf0", _packet(i=i)) for i in range(self.N)])
+        # Event-driven timeline offering exactly N packets: one demand,
+        # phase = gap/2, so floor((duration - gap/2)/gap) + 1 = N.
+        pps = 1e6
+        matrix = TrafficMatrix()
+        matrix.add(1, ("leaf0", 0), ("leaf1", 1),
+                   offered_bps=pps * (PACKET_SIZE + 24) * 8,
+                   packet_size=PACKET_SIZE,
+                   make_packet=lambda: _packet())
+        timeline_result = FabricTimelineExperiment(
+            _lossy_fabric(), matrix, duration_s=self.N / pps).run()
+
+        expected = [LostRecord(vid=1, link="leaf0:4—spine0:0",
+                               count=self.N)]
+        assert wave_result.lost_records() == expected
+        assert timeline_result.lost_records() == expected
+        # and the legacy shapes stay consistent with the typed one
+        assert len(wave_result.lost_for(1)) == self.N
+        assert timeline_result.lost[1] == self.N
+
+    def test_healthy_run_reports_no_lost_records(self):
+        fabric = leaf_spine(leaves=2, spines=1, hosts_per_leaf=HOSTS)
+        tenant = fabric.tenant(
+            "calc", calc.P4_SOURCE, vid=1,
+            installer=lambda t, port: calc.install(t, port=port))
+        tenant.place(("leaf0", 0), ("leaf1", 1))
+        result = fabric.process_batch(
+            [("leaf0", _packet(i=i)) for i in range(4)])
+        assert result.lost_records() == []
+        assert len(result.delivered_for(1)) == 4

@@ -1,0 +1,386 @@
+"""Live fabric-wide tenant lifecycle.
+
+``FabricTenant``'s lifecycle no longer ends at ``place()``: the
+runtime controller's §4.1 load/update/unload procedures fan out across
+the tenant's route mid-run (:meth:`~repro.fabric.tenant.FabricTenant.
+update` / :meth:`~repro.fabric.tenant.FabricTenant.unload` /
+:meth:`~repro.fabric.tenant.FabricTenant.migrate`), and
+:class:`repro.sim.FabricReconfigEvent` +
+:class:`repro.traffic.ChurnSchedule` fire those actions inside a
+running event-driven timeline. These tests pin the semantics: the
+churned tenant takes exactly its own disruption; neighbors never lose
+a packet or a share.
+"""
+
+import pytest
+
+from repro.errors import AdmissionError, CompilerError, ConfigError, \
+    PlacementError
+from repro.fabric import leaf_spine
+from repro.modules import calc
+from repro.sim import FabricTimelineExperiment
+from repro.traffic import ChurnSchedule, TrafficMatrix
+
+HOSTS = 4
+PACKET_SIZE = 500
+
+
+def installer(tenant, port):
+    calc.install(tenant, port=port)
+
+
+def make_fabric(leaves=2, spines=1):
+    return leaf_spine(leaves=leaves, spines=spines, hosts_per_leaf=HOSTS)
+
+
+def place_calc(fabric, vid, src, dst):
+    tenant = fabric.tenant(f"calc{vid}", calc.P4_SOURCE, vid=vid,
+                           installer=installer)
+    tenant.place(src, dst)
+    return tenant
+
+
+def _packet(vid, i=0):
+    return calc.make_packet(vid, calc.OP_ADD, i, i + 1,
+                            pad_to=PACKET_SIZE)
+
+
+def _delivers(fabric, vid, n=3):
+    result = fabric.process_batch(
+        [("leaf0", _packet(vid, i)) for i in range(n)])
+    return len(result.delivered_for(vid)) == n and not result.lost
+
+
+# ------------------------------------------------------------------ update
+
+class TestUpdate:
+    def test_update_fans_out_across_the_route(self):
+        fabric = make_fabric()
+        tenant = place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 1))
+        assert _delivers(fabric, 1)
+        tenant.update(calc.P4_SOURCE)
+        # Program and steering entries are re-landed on all 3 switches;
+        # end-to-end computation still works.
+        result = fabric.process_batch([("leaf0", _packet(1, 20))])
+        out = result.delivered_for(1)
+        assert len(out) == 1
+        assert calc.read_result(out[0]) == 41
+        assert tenant.switches() == ["leaf0", "spine0", "leaf1"]
+
+    def test_update_is_hitless_for_neighbors(self):
+        fabric = make_fabric()
+        tenant = place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 0))
+        neighbor = place_calc(fabric, 2, ("leaf0", 1), ("leaf1", 1))
+        before = neighbor.counters().packets_dropped
+        tenant.update(calc.P4_SOURCE)
+        assert _delivers(fabric, 2)
+        assert neighbor.counters().packets_dropped == before
+
+    def test_update_can_swap_the_installer(self):
+        fabric = make_fabric()
+        tenant = place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 1))
+        seen = []
+
+        def tracking_installer(handle, port):
+            seen.append((handle.switch, port))
+            calc.install(handle, port=port)
+
+        tenant.update(calc.P4_SOURCE, installer=tracking_installer)
+        # Installer re-ran everywhere with each switch's recorded
+        # egress: leaf0 -> uplink, spine0 -> toward leaf1, leaf1 -> host.
+        assert len(seen) == 3
+        assert tenant.installer is tracking_installer
+        assert _delivers(fabric, 1)
+
+    def test_failed_update_leaves_tenant_and_switches_unchanged(self):
+        fabric = make_fabric()
+        tenant = place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 1))
+        with pytest.raises(CompilerError):
+            tenant.update("definitely not P4")
+        # Compilation fails before any teardown: the switches still run
+        # the old program and the tenant object still claims it.
+        assert tenant.source == calc.P4_SOURCE
+        assert tenant.installer is installer
+        assert _delivers(fabric, 1)
+
+    def test_mid_route_update_failure_rolls_back(self, monkeypatch):
+        # The source compiles, but one switch's reinstall is rejected
+        # after its teardown already ran (the §4.1 install half can
+        # fail on fragmentation). The fan-out must restore the old
+        # program everywhere — never leave the route mixed, with one
+        # switch empty.
+        fabric = make_fabric()
+        tenant = place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 1))
+        spine_handle = tenant.handle("spine0")
+
+        def torn_down_then_rejected(source):
+            spine_handle._controller.unload_module(1)
+            raise AdmissionError("no contiguous CAM block free")
+
+        monkeypatch.setattr(spine_handle, "update",
+                            torn_down_then_rejected)
+        with pytest.raises(AdmissionError):
+            tenant.update(calc.P4_SOURCE)
+        # All three switches serve the old program again (spine0 was
+        # re-admitted; leaf0 — updated before the failure — was
+        # updated back), and the object still reports it.
+        assert tenant.source == calc.P4_SOURCE
+        assert sorted(tenant.switches()) == ["leaf0", "leaf1", "spine0"]
+        for member in fabric.switches():
+            assert 1 in member.switch.controller.modules
+        assert _delivers(fabric, 1)
+
+    def test_update_before_place_is_a_typed_error(self):
+        fabric = make_fabric()
+        tenant = fabric.tenant("calc", calc.P4_SOURCE, vid=1,
+                               installer=installer)
+        with pytest.raises(PlacementError, match="not placed"):
+            tenant.update(calc.P4_SOURCE)
+
+
+# ------------------------------------------------------------------ unload
+
+class TestUnload:
+    def test_unload_releases_every_switch_and_the_vid(self):
+        fabric = make_fabric()
+        tenant = place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 1))
+        slots = {m.name: m.free_module_slots() for m in fabric.switches()}
+        tenant.unload()
+        assert tenant.switches() == []
+        assert tenant.routes == []
+        assert fabric.tenants() == []
+        for member in fabric.switches():
+            assert member.free_module_slots() == slots[member.name] + 1
+        # The VID is free fabric-wide: a new tenant claims it.
+        replacement = place_calc(fabric, 1, ("leaf0", 2), ("leaf1", 2))
+        assert replacement.switches() == ["leaf0", "spine0", "leaf1"]
+
+    def test_unloaded_tenants_packets_drop_as_unknown(self):
+        fabric = make_fabric()
+        tenant = place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 1))
+        tenant.unload()
+        result = fabric.process_batch([("leaf0", _packet(1))])
+        assert result.delivered_for(1) == []
+        assert result.dropped.get(1, 0) == 1
+
+    def test_unload_purges_queued_egress(self):
+        fabric = make_fabric()
+        tenant = place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 1))
+        leaf0 = fabric.switch("leaf0")
+        leaf0.engine.process_batch([_packet(1, i) for i in range(5)])
+        assert leaf0.scheduler.total_queued() == 5
+        tenant.unload()
+        # Queued packets must not transmit under a dead VID, and the
+        # scheduler forgets the tenant's weight/rate state and its
+        # telemetry — the next tenant on this VID starts from zero.
+        assert leaf0.scheduler.total_queued() == 0
+        assert leaf0.scheduler.weight_of(1) == 1.0
+        assert leaf0.scheduler.rate_limit_of(1) is None
+        assert 1 not in leaf0.scheduler.per_tenant
+
+
+# ------------------------------------------------------------------ migrate
+
+class TestMigrate:
+    def _placed(self):
+        fabric = make_fabric(leaves=3)
+        tenant = place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 1))
+        neighbor = place_calc(fabric, 2, ("leaf0", 1), ("leaf1", 2))
+        return fabric, tenant, neighbor
+
+    def test_migrate_moves_the_route_and_evicts_the_tail(self):
+        fabric, tenant, _ = self._placed()
+        leaf1_slots = fabric.switch("leaf1").free_module_slots()
+        path = tenant.migrate(dst=("leaf2", 2))
+        assert path == ["leaf0", "spine0", "leaf2"]
+        assert tenant.routes == [path]
+        assert sorted(tenant.switches()) == ["leaf0", "leaf2", "spine0"]
+        # leaf1 released its slot; leaf2 now hosts the program.
+        assert fabric.switch("leaf1").free_module_slots() == \
+            leaf1_slots + 1
+        result = fabric.process_batch([("leaf0", _packet(1, 7))])
+        deliveries = [d for d in result.delivered if d.vid == 1]
+        assert [(d.switch, d.port) for d in deliveries] == [("leaf2", 2)]
+        assert calc.read_result(deliveries[0].packet) == 15
+
+    def test_migrate_resteers_shared_switches(self):
+        fabric, tenant, _ = self._placed()
+        spine = fabric.switch("spine0")
+        before = tenant.handle("spine0")
+        tenant.migrate(dst=("leaf2", 2))
+        # spine0 was on both routes but its next hop changed: the §4.1
+        # update re-landed the program there (same VID, new steering).
+        assert 1 in spine.switch.controller.modules
+        assert tenant._egress["spine0"] == 2  # spine port 2 faces leaf2
+        assert tenant.handle("spine0") is before
+
+    def test_migrate_is_hitless_for_neighbors(self):
+        fabric, tenant, neighbor = self._placed()
+        tenant.migrate(dst=("leaf2", 2))
+        assert _delivers(fabric, 2)
+        assert neighbor.switches() == ["leaf0", "spine0", "leaf1"]
+
+    def test_migrate_validates_before_mutating(self):
+        fabric, tenant, _ = self._placed()
+        with pytest.raises(PlacementError, match="fabric port"):
+            tenant.migrate(dst=("leaf2", HOSTS))  # an uplink, not a host
+        # Old placement intact after the failed migration.
+        assert tenant.routes == [["leaf0", "spine0", "leaf1"]]
+        assert _delivers(fabric, 1)
+
+    def test_failed_admission_rolls_back_new_switches(self):
+        # leaf2 keeps free VID slots (passing the slot pre-check) but
+        # its CAM is exhausted, so admission fails *after* spine1 —
+        # also new on the pinned route — was already admitted. The
+        # migration must evict spine1 again and leave the old
+        # placement fully intact.
+        fabric = leaf_spine(leaves=3, spines=2, hosts_per_leaf=HOSTS)
+        tenant = fabric.tenant("calc30", calc.P4_SOURCE, vid=30,
+                               installer=installer)
+        tenant.place(("leaf0", 0), ("leaf1", 0), via=("spine0",))
+        leaf2 = fabric.switch("leaf2")
+        for vid in range(1, 32):
+            try:
+                leaf2.switch.admit(f"filler{vid}", calc.P4_SOURCE,
+                                   vid=vid)
+            except AdmissionError:
+                break  # CAM-bound before the VID slots run out
+        assert leaf2.free_module_slots() > 0
+        spine1_slots = fabric.switch("spine1").free_module_slots()
+        with pytest.raises(AdmissionError):
+            tenant.migrate(dst=("leaf2", 0), via=("spine1",))
+        assert fabric.switch("spine1").free_module_slots() == \
+            spine1_slots
+        assert 30 not in fabric.switch("spine1").switch.controller.modules
+        assert tenant.routes == [["leaf0", "spine0", "leaf1"]]
+        assert sorted(tenant.switches()) == ["leaf0", "leaf1", "spine0"]
+        assert _delivers(fabric, 30)
+
+    def test_migrate_requires_exactly_one_route(self):
+        fabric = make_fabric()
+        tenant = fabric.tenant("calc", calc.P4_SOURCE, vid=1,
+                               installer=installer)
+        with pytest.raises(PlacementError, match="exactly one"):
+            tenant.migrate(dst=("leaf1", 0))
+        tenant.place(("leaf0", 0), ("leaf1", 0))
+        tenant.place(("leaf0", 1), ("leaf1", 0))  # second agreeing demand
+        with pytest.raises(PlacementError, match="exactly one"):
+            tenant.migrate(dst=("leaf1", 2))
+
+
+# ------------------------------------------- reconfiguration mid-timeline
+
+def _matrix(vids, pps=2e5):
+    matrix = TrafficMatrix()
+    for vid in vids:
+        matrix.add(vid, ("leaf0", vid - 1), ("leaf1", vid - 1),
+                   offered_bps=pps * (PACKET_SIZE + 24) * 8,
+                   packet_size=PACKET_SIZE,
+                   make_packet=lambda vid=vid: _packet(vid))
+    return matrix
+
+
+class TestFabricReconfigEvent:
+    def test_window_drops_exactly_the_churned_tenant(self):
+        fabric = make_fabric()
+        place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 0))
+        place_calc(fabric, 2, ("leaf0", 1), ("leaf1", 1))
+        experiment = FabricTimelineExperiment(
+            fabric, _matrix([1, 2]), duration_s=1e-3, bin_s=1e-4)
+        experiment.schedule_reconfig(vid=2, start_s=4e-4,
+                                     duration_s=2e-4)
+        result = experiment.run()
+        # Tenant 2 lost packets during its §4.1 window; tenant 1 kept
+        # every one of its own.
+        assert result.drops.get(2, 0) > 0
+        assert result.drops.get(1, 0) == 0
+        assert result.delivered[1] > 0
+        assert result.lost_records() == []
+        # And the window closed: no lingering bitmap bit.
+        for member in fabric.switches():
+            assert not member.switch.pipeline.packet_filter \
+                .is_module_updating(2)
+
+    def test_live_update_fires_inside_the_run(self):
+        fabric = make_fabric()
+        tenant = place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 0))
+        fired = []
+        experiment = FabricTimelineExperiment(
+            fabric, _matrix([1]), duration_s=1e-3, bin_s=1e-4)
+        experiment.schedule_reconfig(
+            vid=1, start_s=5e-4, duration_s=1e-4,
+            apply=lambda: fired.append(
+                tenant.update(calc.P4_SOURCE) and None))
+        result = experiment.run()
+        assert fired == [None]
+        # Disrupted during its own window, serving before and after.
+        assert result.delivered[1] > 0
+        assert result.drops.get(1, 0) > 0
+
+
+    def test_overlapping_windows_hold_until_the_last_ends(self):
+        # Two overlapping §4.1 windows for the same tenant must cover
+        # their union: the earlier close must not truncate the later
+        # window. Windows [2, 4) ms and [3, 5) ms at 200 packets/ms
+        # drop the 3 ms union's worth of arrivals (plus at most a
+        # couple of packets already in flight mid-route when the
+        # window opened) — a truncated window would drop only ~2 ms
+        # worth (~400).
+        fabric = make_fabric()
+        place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 0))
+        experiment = FabricTimelineExperiment(
+            fabric, _matrix([1]), duration_s=8e-3, bin_s=1e-3)
+        experiment.schedule_reconfig(vid=1, start_s=2e-3,
+                                     duration_s=2e-3)
+        experiment.schedule_reconfig(vid=1, start_s=3e-3,
+                                     duration_s=2e-3)
+        result = experiment.run()
+        offered = 8e-3 * 2e5
+        assert 600 <= result.drops[1] <= 605
+        assert result.delivered[1] + result.drops[1] == offered
+
+
+class TestChurnScheduleBinding:
+    def test_events_fire_in_order_at_their_times(self):
+        fabric = make_fabric()
+        place_calc(fabric, 1, ("leaf0", 0), ("leaf1", 0))
+        schedule = ChurnSchedule()
+        schedule.update(1, at_s=3e-4, duration_s=1e-4)
+        schedule.depart(1, at_s=8e-4)
+        experiment = FabricTimelineExperiment(
+            fabric, _matrix([1]), duration_s=1e-3, bin_s=1e-4)
+        log = []
+        experiment.schedule_churn(
+            schedule, apply=lambda ev: log.append((ev.kind, ev.time_s)))
+        experiment.run()
+        assert log == [("update", 3e-4), ("depart", 8e-4)]
+
+
+class TestChurnSchedule:
+    def test_kind_validation(self):
+        schedule = ChurnSchedule()
+        with pytest.raises(ConfigError, match="unknown churn kind"):
+            schedule.add("explode", 1, 0.0)
+        with pytest.raises(ConfigError):
+            schedule.arrive(1, at_s=-1.0)
+        with pytest.raises(ConfigError):
+            schedule.update(1, at_s=0.0, duration_s=-0.1)
+
+    def test_staggered_generator_is_deterministic(self):
+        schedule = ChurnSchedule.staggered(
+            [1, 2, 3], start_s=0.0, gap_s=1.0, update_after_s=0.5,
+            lifetime_s=2.0, window_s=0.1)
+        assert len(schedule) == 9
+        assert schedule.churned_vids() == [1, 2, 3]
+        kinds = [e.kind for e in schedule.for_vid(2)]
+        assert kinds == ["arrive", "update", "depart"]
+        assert schedule.window(2, "update") == (1.5, 1.6)
+        assert schedule.window(3) == (2.0, 4.0)
+        with pytest.raises(ConfigError, match="no churn events"):
+            schedule.window(9)
+
+    def test_sorted_events_order(self):
+        schedule = ChurnSchedule()
+        schedule.depart(2, at_s=5.0)
+        schedule.arrive(1, at_s=1.0)
+        assert [e.vid for e in schedule.sorted_events()] == [1, 2]

@@ -1,0 +1,172 @@
+"""Edge-case coverage for :mod:`repro.sim.kernel`.
+
+The kernel now underpins every timed path — the fabric timeline's
+service/arrival cascade, churn reconfiguration events, and (through
+the execution core) the Fig. 10 harness — so its corner semantics are
+load-bearing: cancellation bookkeeping, the ``until`` horizon, the
+``max_events`` guard, and re-entrant scheduling from inside handlers.
+The basics (time order, FIFO ties, negative delay) live in
+``tests/test_sim_perf.py``.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.kernel import SimulationError
+
+
+class TestCancel:
+    def test_cancelled_event_is_not_processed_and_not_pending(self):
+        sim = Simulator()
+        log = []
+        keep = sim.schedule(1.0, lambda: log.append("keep"))
+        drop = sim.schedule(2.0, lambda: log.append("drop"))
+        drop.cancel()
+        assert sim.pending() == 1
+        sim.run()
+        assert log == ["keep"]
+        assert sim.events_processed == 1
+        assert not keep.cancelled and drop.cancelled
+
+    def test_cancelled_event_does_not_advance_the_clock(self):
+        # A cancelled head-of-queue event is skipped without its time
+        # becoming `now`.
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None).cancel()
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_cancel_from_inside_an_earlier_handler(self):
+        sim = Simulator()
+        log = []
+        later = sim.schedule(2.0, lambda: log.append("later"))
+        sim.schedule(1.0, lambda: later.cancel())
+        sim.run()
+        assert log == []
+        assert sim.now == 1.0
+
+    def test_cancel_one_of_simultaneous_events_keeps_fifo(self):
+        sim = Simulator()
+        log = []
+        events = [sim.schedule(1.0, lambda i=i: log.append(i))
+                  for i in range(4)]
+        events[1].cancel()
+        events[2].cancel()
+        sim.run()
+        assert log == [0, 3]
+
+
+class TestRunUntil:
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("at"))
+        sim.run(until=2.0)
+        assert log == ["at"]
+        assert sim.now == 2.0
+
+    def test_later_events_stay_queued_and_resume(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(3.0, lambda: log.append(3))
+        assert sim.run(until=2.0) == 2.0
+        assert log == [1] and sim.pending() == 1
+        assert sim.run() == 3.0
+        assert log == [1, 3]
+
+    def test_until_with_empty_queue_advances_the_clock(self):
+        sim = Simulator()
+        assert sim.run(until=7.5) == 7.5
+        assert sim.now == 7.5
+
+    def test_until_after_queue_drains_sets_final_clock(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(until=10.0) == 10.0
+
+
+class TestMaxEvents:
+    def test_guard_stops_after_n_events(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: log.append(i))
+        sim.run(max_events=2)
+        assert log == [0, 1]
+        assert sim.now == 2.0
+        assert sim.pending() == 3
+
+    def test_guard_bounds_a_runaway_self_scheduling_cascade(self):
+        # The guard exists exactly for this: a handler that always
+        # schedules a successor would otherwise never terminate.
+        sim = Simulator()
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run(max_events=100)
+        assert len(fired) == 100
+        assert sim.pending() == 1  # the 101st, still queued
+
+    def test_cancelled_events_do_not_consume_the_budget(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: log.append("ran"))
+        sim.run(max_events=1)
+        assert log == ["ran"]
+
+    def test_resuming_after_the_guard_completes_the_run(self):
+        sim = Simulator()
+        log = []
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda i=i: log.append(i))
+        sim.run(max_events=3)
+        sim.run()
+        assert log == [0, 1, 2, 3]
+
+
+class TestReentrantScheduling:
+    def test_schedule_at_now_from_handler_runs_after_current(self):
+        sim = Simulator()
+        log = []
+
+        def handler():
+            log.append("outer")
+            sim.schedule_at(sim.now, lambda: log.append("inner"))
+
+        sim.schedule_at(1.0, handler)
+        sim.schedule_at(1.0, lambda: log.append("sibling"))
+        sim.run()
+        # Same-time FIFO: the re-entrant event fires after everything
+        # already queued for that instant.
+        assert log == ["outer", "sibling", "inner"]
+        assert sim.now == 1.0
+
+    def test_schedule_at_into_the_past_raises_inside_handler(self):
+        sim = Simulator()
+
+        def handler():
+            sim.schedule_at(0.5, lambda: None)
+
+        sim.schedule_at(1.0, handler)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_reentrant_chain_respects_until(self):
+        sim = Simulator()
+        log = []
+
+        def tick():
+            log.append(sim.now)
+            sim.schedule_at(sim.now + 1.0, tick)
+
+        sim.schedule_at(1.0, tick)
+        sim.run(until=3.0)
+        assert log == [1.0, 2.0, 3.0]
+        assert sim.pending() == 1  # the 4.0 tick, beyond the horizon
+        assert sim.now == 3.0

@@ -1,0 +1,39 @@
+"""`repro-info` console tool: human table and ``--json`` output."""
+
+import json
+
+import pytest
+
+from repro.rmt.params import DEFAULT_PARAMS
+from repro.tools.info import info_dict, main
+
+
+def test_json_flag_emits_parseable_inventory(capsys):
+    assert main(["--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    p = DEFAULT_PARAMS
+    assert data["params"]["num_stages"] == p.num_stages
+    assert data["params"]["max_modules"] == p.max_modules
+    assert data["params"]["cam_entry_bits"] == p.cam_entry_bits
+    assert data["params"]["alu_action_bits"] == p.alu_action_bits
+    assert data["params"]["container_sizes"] == list(p.container_sizes)
+    assert set(data["platforms"]) == {"netfpga_sume", "corundum"}
+    for plat in data["platforms"].values():
+        assert plat["bus_bytes"] == plat["bus_width_bits"] // 8
+    # The table inventory round-trips shape and content.
+    assert data["table_inventory"] == p.table_inventory()
+
+
+def test_json_matches_info_dict(capsys):
+    main(["--json"])
+    assert json.loads(capsys.readouterr().out) == \
+        json.loads(json.dumps(info_dict()))
+
+
+def test_human_output_unchanged_by_default(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "Menshen prototype hardware parameters" in out
+    assert "table inventory" in out
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(out)
