@@ -23,7 +23,15 @@ layered modules (:mod:`repro.core`, :mod:`repro.runtime`,
 need the internals.
 """
 
+from ..analysis import (
+    AnalysisReport,
+    AnalysisWarning,
+    Finding,
+    Severity,
+    analyze_source,
+)
 from ..errors import (
+    AnalysisError,
     CompilationFailed,
     TenantIsolationError,
     TransactionError,
@@ -56,6 +64,13 @@ __all__ = [
     "Diagnostic",
     "StageUsage",
     "CompilationFailed",
+    # static analysis
+    "AnalysisError",
+    "AnalysisReport",
+    "AnalysisWarning",
+    "Finding",
+    "Severity",
+    "analyze_source",
     # session surface
     "Switch",
     "SwitchBuilder",

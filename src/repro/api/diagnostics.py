@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..analysis.findings import Finding
+from ..analysis.verify import analyze_source
 from ..compiler.backend import CompiledModule
 from ..compiler.compile import CompilerOptions, compile_module
 from ..compiler.target import TargetDescription
@@ -84,6 +86,10 @@ class CompileResult:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     #: Per-stage demand vs. hardware capacity (empty on failure).
     stage_usage: Dict[int, StageUsage] = field(default_factory=dict)
+    #: Static-verifier findings (:mod:`repro.analysis` module passes):
+    #: quota proofs and dead-code warnings. Compile *failures* stay in
+    #: ``diagnostics``; findings are the analysis layered on top.
+    findings: List[Finding] = field(default_factory=list)
 
     @property
     def errors(self) -> List[Diagnostic]:
@@ -104,9 +110,10 @@ class CompileResult:
             self.diagnostics)
 
     def report(self) -> str:
-        """Human-readable summary (diagnostics + per-stage usage)."""
+        """Human-readable summary (diagnostics, findings, stage usage)."""
         lines = [f"compile {self.name!r}: {'ok' if self.ok else 'FAILED'}"]
         lines.extend(f"  {d}" for d in self.diagnostics)
+        lines.extend(f"  {f}" for f in self.findings)
         for stage in sorted(self.stage_usage):
             u = self.stage_usage[stage]
             lines.append(
@@ -193,5 +200,7 @@ def compile(source: str, name: str = "<module>",  # noqa: A001 - facade verb
                              diagnostics=diagnostics)
     usage, warnings = _usage_and_warnings(module, resolved)
     diagnostics.extend(warnings)
+    findings = list(analyze_source(source, name, options).findings)
     return CompileResult(name=name, ok=True, module=module,
-                         diagnostics=diagnostics, stage_usage=usage)
+                         diagnostics=diagnostics, stage_usage=usage,
+                         findings=findings)

@@ -37,6 +37,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..compiler.target import TargetDescription
 from ..core.pipeline import SYSTEM_MODULE_ID, MenshenPipeline
+from ..analysis.findings import AnalysisReport
+from ..analysis.verify import analyze_switch, check_mode
 from ..engine.batch import BatchEngine
 from ..engine.scheduler import EgressScheduler, SchedulerTenantCounters
 from ..errors import (
@@ -94,6 +96,7 @@ class SwitchBuilder:
         self._reconfig_from_dataplane = False
         self._policy = None
         self._max_load_retries = 5
+        self._verify = "enforce"
         self._target: Optional[TargetDescription] = None
         self._t_sw_per_entry: Optional[float] = None
         self._t_daisy_per_packet: Optional[float] = None
@@ -159,6 +162,13 @@ class SwitchBuilder:
         self._max_load_retries = retries
         return self
 
+    def verify(self, mode: str = "enforce") -> "SwitchBuilder":
+        """Static-verifier admission gate: ``"enforce"`` (default —
+        ERROR findings reject the tenant), ``"warn"`` (admit, emitting
+        :class:`repro.analysis.AnalysisWarning`), or ``"off"``."""
+        self._verify = check_mode(mode)
+        return self
+
     def target(self, target: TargetDescription) -> "SwitchBuilder":
         """Override the target user modules compile against (stage map,
         shared containers). Loading a system module re-derives it."""
@@ -192,7 +202,8 @@ class SwitchBuilder:
         interface = SoftwareHardwareInterface(pipeline, **interface_kwargs)
         controller = MenshenController(
             pipeline, interface=interface, policy=self._policy,
-            max_load_retries=self._max_load_retries)
+            max_load_retries=self._max_load_retries,
+            verify=self._verify)
         if self._target is not None:
             controller._user_target = self._target
         return Switch(controller=controller)
@@ -246,6 +257,14 @@ class Switch:
     @property
     def params(self) -> HardwareParams:
         return self.pipeline.params
+
+    # -- static analysis ---------------------------------------------------------
+
+    def analyze(self) -> AnalysisReport:
+        """Run the config passes over everything currently loaded: the
+        standing isolation proof (write-set disjointness, identity
+        writes) for this switch's live configuration."""
+        return analyze_switch(self._controller)
 
     # -- system module ----------------------------------------------------------
 

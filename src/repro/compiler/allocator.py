@@ -140,7 +140,7 @@ def place_stages(ir: ModuleIR, target: TargetDescription,
             if reads & _written_by(ir, earlier.name):
                 deps.add(earlier.name)
         alloc.dependencies[later.name] = deps
-        for dep in deps:
+        for dep in sorted(deps):
             if alloc.table_to_stage[dep] >= alloc.table_to_stage[later.name]:
                 raise AllocationError(
                     f"table {later.name!r} matches fields written by "

@@ -233,8 +233,8 @@ class CompiledModule:
         shared_refs = set(
             (int(r.ctype), r.index)
             for r in self.target.shared_fields.values())
-        for ref in set((int(r.ctype), r.index)
-                       for r in self.field_alloc.values()):
+        for ref in sorted(set((int(r.ctype), r.index)
+                              for r in self.field_alloc.values())):
             if ref in shared_refs:
                 continue
             containers[ContainerType(ref[0]).name] += 1

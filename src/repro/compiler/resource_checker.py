@@ -39,51 +39,57 @@ class ResourceRequest:
         )
 
 
+def _raise_quota_findings(module: CompiledModule, params: HardwareParams,
+                          codes: frozenset,
+                          granted_match_entries: Optional[int] = None,
+                          granted_stateful_words: Optional[int] = None
+                          ) -> None:
+    """Run the quota pass and convert its findings back to the legacy
+    exception. Imported lazily: :mod:`repro.analysis` depends on the
+    compiler package, not the other way around."""
+    from ..analysis.passes import ModuleContext, ResourceQuotaPass
+
+    ctx = ModuleContext(
+        name=module.name, params=params, module=module,
+        granted_match_entries=granted_match_entries,
+        granted_stateful_words=granted_stateful_words)
+    for finding in ResourceQuotaPass().run(ctx):
+        if finding.code in codes:
+            where = (f"stage {finding.stage}: "
+                     if finding.stage is not None else "")
+            raise ResourceError(f"{where}{finding.message}")
+
+
+#: Findings enforced as raw hardware limits (per-module dimensions).
+_HARDWARE_CODES = frozenset({
+    "quota-parse-actions", "quota-containers", "quota-match-entries",
+    "quota-stateful-words", "quota-stage", "quota-key-width"})
+
+#: Findings enforced as operator-granted allowances.
+_GRANT_CODES = frozenset({"quota-grant-match", "quota-grant-stateful"})
+
+
 def check_against_hardware(module: CompiledModule,
                            params: HardwareParams) -> None:
     """Validate the module fits the raw hardware dimensions.
 
     (The allocator already guarantees most of these; this re-validation
     is the backstop the paper's resource checker provides, and it also
-    covers artifacts constructed without the allocator.)
+    covers artifacts constructed without the allocator.) Since PR 6 this
+    is a shim over :class:`repro.analysis.passes.ResourceQuotaPass`.
     """
-    usage = module.resource_usage()
-    if usage["parse_actions"] > params.parse_actions_per_entry:
-        raise ResourceError(
-            f"{usage['parse_actions']} parse actions exceed the parser's "
-            f"{params.parse_actions_per_entry}")
-    for cls_name, count in usage["containers"].items():
-        if count > params.containers_per_type:
-            raise ResourceError(
-                f"{count} {cls_name} containers exceed the PHV's "
-                f"{params.containers_per_type}")
-    for stage, entries in usage["match_entries_by_stage"].items():
-        if entries > params.match_entries_per_stage:
-            raise ResourceError(
-                f"stage {stage}: {entries} match entries exceed the CAM "
-                f"depth {params.match_entries_per_stage}")
-    for stage, words in usage["stateful_words_by_stage"].items():
-        if words > params.stateful_words_per_stage:
-            raise ResourceError(
-                f"stage {stage}: {words} stateful words exceed the "
-                f"memory's {params.stateful_words_per_stage}")
-    for stage in usage["stages"]:
-        if not 0 <= stage < params.num_stages:
-            raise ResourceError(f"stage {stage} does not exist")
+    _raise_quota_findings(module, params, _HARDWARE_CODES)
 
 
 def check_against_grant(module: CompiledModule,
                         granted_match_entries: Optional[int] = None,
                         granted_stateful_words: Optional[int] = None) -> None:
-    """Validate the module stays within an operator-granted allowance."""
-    request = ResourceRequest.of(module)
-    if (granted_match_entries is not None
-            and request.match_entries > granted_match_entries):
-        raise ResourceError(
-            f"module needs {request.match_entries} match entries but was "
-            f"granted {granted_match_entries}")
-    if (granted_stateful_words is not None
-            and request.stateful_words > granted_stateful_words):
-        raise ResourceError(
-            f"module needs {request.stateful_words} stateful words but was "
-            f"granted {granted_stateful_words}")
+    """Validate the module stays within an operator-granted allowance.
+
+    A shim over :class:`repro.analysis.passes.ResourceQuotaPass`, kept
+    for callers that want the legacy :class:`ResourceError` contract.
+    """
+    _raise_quota_findings(
+        module, module.target.params, _GRANT_CODES,
+        granted_match_entries=granted_match_entries,
+        granted_stateful_words=granted_stateful_words)

@@ -20,7 +20,7 @@ entries a module installs.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set
+from typing import Dict, Hashable
 
 from ..errors import StaticCheckError
 from .ast_nodes import AssignStmt, PrimitiveCall
@@ -75,13 +75,10 @@ def check_loop_free(next_hop: Dict[Hashable, Hashable]) -> None:
     node revisits a node (a forwarding loop). Terminal nodes simply do
     not appear as keys.
     """
-    for start in next_hop:
-        seen: Set[Hashable] = {start}
-        node = next_hop[start]
-        while node in next_hop:
-            if node in seen:
-                path = " -> ".join(str(s) for s in seen) + f" -> {node}"
-                raise StaticCheckError(
-                    f"routing loop detected: {path}")
-            seen.add(node)
-            node = next_hop[node]
+    # Shim over the analysis pass (imported lazily: repro.analysis
+    # depends on the compiler package, not the other way around).
+    from ..analysis.passes import find_loop
+    walk = find_loop(next_hop)
+    if walk is not None:
+        path = " -> ".join(str(node) for node in walk)
+        raise StaticCheckError(f"routing loop detected: {path}")

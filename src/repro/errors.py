@@ -153,6 +153,22 @@ class CompilationFailed(CompilerError):
 
 
 # ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+class AnalysisError(ReproError):
+    """A :mod:`repro.analysis` report with ERROR findings was enforced.
+
+    Carries the full structured finding list (``.findings``) so callers
+    on the exception path still see every violation, not just the
+    summary string."""
+
+    def __init__(self, message: str, findings=()):
+        self.findings = list(findings)
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
 # Runtime / policy
 # ---------------------------------------------------------------------------
 

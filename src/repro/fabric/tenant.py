@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.passes import loop_findings
 from ..api.switch import Tenant, TenantCounters
 from ..errors import PlacementError
 from .placement import choose_path, validate_host_port
@@ -109,6 +110,7 @@ class FabricTenant:
                     f"to port {prev}; route {path} needs port "
                     f"{egress} there — overlapping placements must "
                     f"agree, or use an installer that discriminates")
+        self._prove_loop_free({**self._egress, **plan})
         for name in path:
             handle = self._admit_on(name)
             if name not in self._egress:
@@ -116,6 +118,25 @@ class FabricTenant:
                 self._egress[name] = plan[name]
         self.routes.append(path)
         return path
+
+    def _prove_loop_free(self, steering: Dict[str, int]) -> None:
+        """Machine-check that the tenant's fabric-wide steering stays
+        loop-free (:func:`repro.analysis.passes.loop_findings`).
+
+        ``steering`` is the switch -> egress-port map as it *would*
+        look after the pending change; ports facing hosts are route
+        terminals. The egress-agreement check makes loops unreachable
+        through this API, but direct callers and future installers get
+        the same proof the paper's static checker gives daisy chains.
+        """
+        next_hop: Dict[str, str] = {}
+        for name in sorted(steering):
+            link = self.fabric.switch(name).links.get(steering[name])
+            if link is not None:
+                next_hop[name] = link.other_end(name).switch
+        for finding in loop_findings(next_hop, subject=f"vid {self.vid}"):
+            raise PlacementError(
+                f"tenant VID {self.vid}: {finding.message}")
 
     def _admit_on(self, name: str) -> Tenant:
         handle = self._handles.get(name)
@@ -253,6 +274,9 @@ class FabricTenant:
                 raise PlacementError(
                     f"tenant VID {self.vid}: cannot migrate — switch "
                     f"{name!r} has no free module slot")
+        # The post-migration steering is exactly the new plan (shared
+        # switches are re-steered, the abandoned tail is unloaded).
+        self._prove_loop_free(dict(plan))
         # Load phase: admit on every new switch before any steering
         # changes, rolling the admissions back as a group if a later
         # one fails (a free VID slot does not guarantee admission —

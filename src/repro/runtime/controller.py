@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis.verify import check_mode, verify_admission
 from ..compiler import CompilerOptions, compile_module
 from ..compiler.backend import CompiledModule
 from ..compiler.resource_checker import ResourceRequest
@@ -35,6 +36,7 @@ from ..core.resources import ModuleAllocation, StageAllocation
 from ..errors import (
     AdmissionError,
     AllocationError,
+    AnalysisError,
     ReconfigurationError,
     RuntimeInterfaceError,
 )
@@ -97,11 +99,15 @@ class MenshenController:
 
     def __init__(self, pipeline: MenshenPipeline,
                  interface: Optional[SoftwareHardwareInterface] = None,
-                 policy=None, max_load_retries: int = 5):
+                 policy=None, max_load_retries: int = 5,
+                 verify: str = "enforce"):
         self.pipeline = pipeline
         self.interface = interface or SoftwareHardwareInterface(pipeline)
         self.policy = policy or AlwaysAdmit()
         self.max_load_retries = max_load_retries
+        #: Static-verifier admission gate: "enforce" (reject on ERROR
+        #: findings), "warn" (admit but emit AnalysisWarning), "off".
+        self.verify = check_mode(verify)
         self.modules: Dict[int, LoadedModule] = {}
         self.system_module: Optional[LoadedModule] = None
         self._user_target: Optional[TargetDescription] = None
@@ -305,7 +311,7 @@ class MenshenController:
                     f"in stage {stage}")
             stateful_bases[stage] = base
 
-        for stage in set(list(match_blocks) + list(stateful_bases)):
+        for stage in sorted(set(list(match_blocks) + list(stateful_bases))):
             m_start, m_count = match_blocks.get(stage, (0, 0))
             stages[stage] = StageAllocation(
                 match_start=m_start, match_count=m_count,
@@ -370,6 +376,19 @@ class MenshenController:
     def _install(self, module_id: int, name: str,
                  compiled: CompiledModule) -> LoadedModule:
         allocation, register_bases, _ = self._partition(module_id, compiled)
+
+        # Static-verifier gate: prove the switch stays isolated with the
+        # candidate's partitions before any config packet is sent. The
+        # system module (vid 0) predates user state and is exempt.
+        if module_id != SYSTEM_MODULE_ID and self.verify != "off":
+            try:
+                verify_admission(self, module_id, name, compiled,
+                                 allocation, mode=self.verify)
+            except AnalysisError as exc:
+                self.pipeline.ledger.revoke(module_id)
+                self._policy_release(module_id)
+                raise AdmissionError(str(exc)) from exc
+
         writes = self.config_writes(module_id, compiled, allocation,
                                     register_bases)
 

@@ -1,0 +1,92 @@
+"""``repro-lint`` — the determinism/race lint from the shell.
+
+Lints Python sources (files or directories, default ``src/repro``
+relative to the working directory) with the
+:mod:`repro.analysis.lint` rules, optionally subtracting a committed
+baseline of accepted findings. Exit status 0 when no fresh findings
+(and no stale baseline entries), 1 otherwise, 2 for usage/IO problems.
+
+``--write-baseline`` regenerates the baseline file from the current
+findings; an empty JSON array means the tree is clean and must stay so.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..analysis.findings import AnalysisReport
+from ..analysis.lint import RULES, apply_baseline, lint_paths
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Lint Python sources for nondeterminism and race "
+                    "hazards (mutable globals, unseeded RNG, wall-clock "
+                    "reads, bare-set iteration)")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories (default: src/repro)")
+    parser.add_argument("--rules", default=",".join(RULES), metavar="R1,R2",
+                        help=f"comma-separated rule subset "
+                             f"(default: all of {', '.join(RULES)})")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="JSON baseline of accepted findings to "
+                             "subtract")
+    parser.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="write current findings to FILE and exit 0")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON")
+    args = parser.parse_args(argv)
+
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    rules = tuple(r.strip() for r in args.rules.split(",") if r.strip())
+    try:
+        report = lint_paths(paths, rules=rules)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(
+            report.to_json(indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {len(report)} findings to {args.write_baseline}")
+        return 0
+
+    stale: List = []
+    if args.baseline:
+        try:
+            baseline = AnalysisReport.from_json(
+                Path(args.baseline).read_text(encoding="utf-8"))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: unreadable baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        report, stale = apply_baseline(report, baseline)
+
+    if args.as_json:
+        print(json.dumps(
+            {"ok": not (report.findings or stale),
+             "findings": [f.to_dict() for f in report.findings],
+             "stale_baseline": [f.to_dict() for f in stale]},
+            indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding)
+        for finding in stale:
+            print(f"stale baseline entry (no longer fires — remove it): "
+                  f"{finding}")
+        if not report.findings and not stale:
+            print(f"clean: {', '.join(rules)}")
+    return 1 if (report.findings or stale) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

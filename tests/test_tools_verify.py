@@ -1,0 +1,136 @@
+"""Tests for the repro-verify and repro-lint command-line tools."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tools import lint as lint_cli
+from repro.tools import verify as verify_cli
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_REPRO = str(REPO_ROOT / "src" / "repro")
+BASELINE = str(REPO_ROOT / "lint-baseline.json")
+
+
+class TestVerifyCli:
+    def test_all_builtins_clean(self, capsys):
+        assert verify_cli.main(["--all-builtins"]) == 0
+        out = capsys.readouterr().out
+        assert "calc: ok" in out and "netchain: ok" in out
+
+    def test_switch_demo_verifies_loaded_config(self, capsys):
+        assert verify_cli.main(
+            ["--builtin", "calc", "--builtin", "firewall",
+             "--switch-demo"]) == 0
+        assert "switch: ok" in capsys.readouterr().out
+
+    def test_over_quota_program_rejected(self, capsys):
+        rc = verify_cli.main(["--builtin", "calc", "--grant-match", "1",
+                              "--json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        codes = [f["code"] for f in payload["reports"]["calc"]]
+        assert codes == ["quota-grant-match"]
+        finding = payload["reports"]["calc"][0]
+        assert finding["severity"] == "error"
+        assert finding["pass_name"] == "resource-quota"
+
+    def test_source_file_with_warnings_ok_unless_strict(
+            self, tmp_path, capsys):
+        src = tmp_path / "dead.p4"
+        src.write_text("""
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header vlan_t { bit<16> tci; bit<16> etherType; }
+header data_t { bit<32> a; bit<32> b; }
+struct headers_t { ethernet_t ethernet; vlan_t vlan; data_t data; }
+parser P(packet_in packet, out headers_t hdr) {
+    state start {
+        packet.extract(hdr.ethernet);
+        packet.extract(hdr.vlan);
+        packet.extract(hdr.data);
+        transition accept;
+    }
+}
+control C(inout headers_t hdr) {
+    action set_a() { hdr.data.a = 1; }
+    table t { key = { hdr.data.a: exact; } actions = { set_a; } size = 2; }
+    table unused { key = { hdr.data.b: exact; } actions = { set_a; } size = 2; }
+    apply { t.apply(); }
+}
+""", encoding="utf-8")
+        assert verify_cli.main([str(src)]) == 0
+        assert "dead-table" in capsys.readouterr().out
+        assert verify_cli.main([str(src), "--strict"]) == 1
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert verify_cli.main(["/nonexistent/x.p4"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_no_inputs_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            verify_cli.main([])
+
+    def test_broken_source_fails_with_finding(self, tmp_path, capsys):
+        src = tmp_path / "broken.p4"
+        src.write_text("control C {", encoding="utf-8")
+        assert verify_cli.main([str(src), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+
+
+class TestLintCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert lint_cli.main([SRC_REPRO]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_hazard_file_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n", encoding="utf-8")
+        assert lint_cli.main([str(bad)]) == 1
+        assert "wall-clock" in capsys.readouterr().out
+
+    def test_json_output_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n",
+                       encoding="utf-8")
+        assert lint_cli.main([str(bad), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["code"] == "unseeded-random"
+
+    def test_baseline_roundtrip(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert lint_cli.main([str(bad), "--write-baseline",
+                              str(baseline)]) == 0
+        capsys.readouterr()
+        # Accepted in the baseline: clean.
+        assert lint_cli.main([str(bad), "--baseline", str(baseline)]) == 0
+        # Hazard fixed but baseline kept: stale entry flagged.
+        bad.write_text("t = 0\n", encoding="utf-8")
+        assert lint_cli.main([str(bad), "--baseline", str(baseline)]) == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_committed_baseline_accepted(self, capsys):
+        assert lint_cli.main([SRC_REPRO, "--baseline", BASELINE]) == 0
+
+    def test_rule_subset(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\n"
+            "def f(s):\n"
+            "    for x in set(s):\n"
+            "        pass\n"
+            "    return time.time()\n", encoding="utf-8")
+        assert lint_cli.main([str(bad), "--rules", "wall-clock"]) == 1
+        out = capsys.readouterr().out
+        assert "wall-clock" in out and "set-iteration" not in out
+
+    def test_unknown_rule_usage_error(self, capsys):
+        assert lint_cli.main([SRC_REPRO, "--rules", "bogus"]) == 2
+
+    def test_missing_path_usage_error(self, capsys):
+        assert lint_cli.main(["/nonexistent/dir"]) == 2
