@@ -344,14 +344,20 @@ class Switch:
     def engine(self, cache_capacity: int = 4096,
                enable_cache: bool = True, scheduled: bool = True,
                line_rate_bps: Optional[float] = None,
-               egress_queue_capacity: Optional[int] = None) -> BatchEngine:
+               egress_queue_capacity: Optional[int] = None,
+               enable_classifier: Optional[bool] = None) -> BatchEngine:
         """A batched execution engine over this switch's pipeline.
 
         Engines obtained here are registered with the switch, so every
         transactional reconfiguration through the facade (transactions,
         ``tenant.update``, ``tenant.evict``) flushes the affected
-        tenant's flow-cache shard the moment it commits — on top of the
-        epoch check that already invalidates stale entries.
+        tenant's flow-cache shard — and its compiled classifier — the
+        moment it commits, on top of the epoch check that already
+        invalidates stale entries.
+
+        ``enable_classifier`` controls the compiled-classification level
+        of the engine's hot path (flow cache v2); ``None`` defers to the
+        ``REPRO_ENGINE_CLASSIFIER`` environment variable (default on).
 
         By default (``scheduled=True``) the switch's egress is routed
         through a weighted-fair :class:`~repro.engine.scheduler.
@@ -368,7 +374,8 @@ class Switch:
                 line_rate_bps=line_rate_bps,
                 queue_capacity=egress_queue_capacity)
         engine = BatchEngine(self.pipeline, cache_capacity=cache_capacity,
-                             enable_cache=enable_cache)
+                             enable_cache=enable_cache,
+                             enable_classifier=enable_classifier)
         self._engines.append(engine)
         return engine
 

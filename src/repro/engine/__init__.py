@@ -9,6 +9,10 @@ the serving layer a production deployment needs:
   packet-for-packet identical to the scalar path;
 * :class:`~repro.engine.flow_cache.FlowCache` — exact-match memoization
   of pure flow transformations, epoch-validated against reconfiguration;
+* :class:`~repro.engine.classifier.CompiledClassifier` — flow cache v2:
+  each tenant's installed tables compiled into flat interval/hash match
+  structures with pre-decoded actions, so exact-match *misses* (and
+  ternary matches) also skip the interpreted pipeline walk;
 * :class:`~repro.engine.scheduler.EgressScheduler` — weighted-fair
   (PIFO/STFQ) egress with per-tenant token-bucket rate limiting, the
   batched path's default traffic manager (§3.5 bandwidth isolation);
@@ -24,6 +28,12 @@ Quick start::
 """
 
 from .batch import BatchEngine, EngineCounters, EngineTenantCounters
+from .classifier import (
+    ClassifierStats,
+    CompiledClassifier,
+    Fallback,
+    compile_classifier,
+)
 from .flow_cache import FlowCache, FlowCacheStats, FlowEntry
 from .scheduler import (
     Departure,
@@ -36,6 +46,10 @@ __all__ = [
     "BatchEngine",
     "EngineCounters",
     "EngineTenantCounters",
+    "ClassifierStats",
+    "CompiledClassifier",
+    "Fallback",
+    "compile_classifier",
     "FlowCache",
     "FlowCacheStats",
     "FlowEntry",

@@ -18,13 +18,30 @@ per-packet costs:
   chain — every ``repro.api`` table insert/delete, transaction, module
   load/update/evict — bumps the epoch and thereby invalidates stale
   entries before the next packet can observe them.
+* **Compiled classification (flow cache v2).** On an exact-match miss,
+  the packet is run through the tenant's
+  :class:`~repro.engine.classifier.CompiledClassifier` — the installed
+  configuration flattened at the current epoch into parse-plan copies,
+  per-stage interval/hash match structures, and pre-decoded ALU op
+  tuples. A compiled hit produces the same ``(merged, phv)`` the scalar
+  walk would, seeds the exact-match cache (when enabled), and skips the
+  interpreted pipeline entirely, so cache-hostile traffic no longer
+  degrades to the scalar walk. Classifiers are rebuilt lazily when the
+  epoch moves and purged by :meth:`invalidate` alongside the shards.
 * **Stateful bypass.** A packet whose execution touches stateful memory
   is never memoized, and its module stops probing the cache until the
   next reconfiguration (state-carrying modules like NetCache/NetChain
-  take the full pipeline every time, as they must). This is also why
-  register writes (``tenant.register(...).write``), which bypass the
-  daisy chain, need no invalidation: no cached flow ever consulted a
-  register.
+  take the full pipeline every time, as they must); compiled leaves that
+  would touch stateful memory bail to the scalar walk per flow. This is
+  also why register writes (``tenant.register(...).write``), which
+  bypass the daisy chain, need no invalidation: no cached flow ever
+  consulted a register, and no compiled leaf replays a stateful op.
+
+The hot path is therefore three-level — exact-match cache hit →
+compiled classification → scalar pipeline fallback — with
+:class:`EngineCounters` attributing every packet to one level
+(``cache_hits`` / ``compiled_hits`` / ``classifier_fallbacks`` by
+reason) and ``compile_rebuilds`` counting epoch-driven recompiles.
 
 Epoch granularity is a deliberate tradeoff: ``config_epoch`` is
 pipeline-global because CAM/VLIW rows are physically shared (the
@@ -58,13 +75,34 @@ guaranteed.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.pipeline import MenshenPipeline
 from ..net.packet import Packet
 from ..rmt.pipeline import PipelineResult
+from .classifier import (
+    ClassifierStats,
+    CompiledClassifier,
+    Fallback,
+    compile_classifier,
+)
 from .flow_cache import FlowCache, FlowCacheStats, FlowEntry
+
+
+def classifier_default_enabled() -> bool:
+    """Default for ``BatchEngine(enable_classifier=None)``.
+
+    The ``REPRO_ENGINE_CLASSIFIER`` environment variable turns the
+    compiled-classification level off (``off``/``0``/``false``/``no``)
+    or on (anything else, including ``on``); unset means on. CI uses it
+    to pin the differential suites with the classifier force-enabled.
+    """
+    value = os.environ.get("REPRO_ENGINE_CLASSIFIER")
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "off", "false", "no")
 
 
 @dataclass
@@ -73,6 +111,7 @@ class EngineTenantCounters:
 
     packets: int = 0
     cache_hits: int = 0
+    compiled_hits: int = 0
     cache_misses: int = 0
     uncacheable: int = 0
     drops: int = 0
@@ -81,17 +120,31 @@ class EngineTenantCounters:
 
 @dataclass
 class EngineCounters:
-    """Engine-level accounting, overall and per tenant."""
+    """Engine-level accounting, overall and per tenant.
+
+    Counter-unit contract: ``invalidations`` counts flushed cache
+    *entries* (same unit as ``FlowCacheStats.invalidations``) and
+    ``invalidation_calls`` counts :meth:`BatchEngine.invalidate` *calls*
+    — a call that finds nothing to flush bumps only the latter.
+    ``cache_hits``/``compiled_hits`` attribute each served packet to the
+    hot-path level that produced its result; ``classifier_fallbacks``
+    histograms (by reason) the packets the classifier handed back to the
+    scalar pipeline.
+    """
 
     batches: int = 0
     packets: int = 0
     cache_hits: int = 0
+    compiled_hits: int = 0
     cache_misses: int = 0
     uncacheable: int = 0
     early_drops: int = 0
     drops: int = 0
     reconfig_flushes: int = 0
     invalidations: int = 0
+    invalidation_calls: int = 0
+    compile_rebuilds: int = 0
+    classifier_fallbacks: Dict[str, int] = field(default_factory=dict)
     per_tenant: Dict[int, EngineTenantCounters] = field(default_factory=dict)
 
     def tenant(self, vid: int) -> EngineTenantCounters:
@@ -135,7 +188,8 @@ class BatchEngine:
 
     def __init__(self, pipeline: MenshenPipeline,
                  cache_capacity: int = 4096,
-                 enable_cache: bool = True):
+                 enable_cache: bool = True,
+                 enable_classifier: Optional[bool] = None):
         if not isinstance(pipeline, MenshenPipeline):
             raise TypeError(
                 f"BatchEngine drives a MenshenPipeline, got "
@@ -143,9 +197,13 @@ class BatchEngine:
         self.pipeline = pipeline
         self.cache_capacity = cache_capacity
         self.enable_cache = enable_cache
+        if enable_classifier is None:
+            enable_classifier = classifier_default_enabled()
+        self.enable_classifier = enable_classifier
         self.counters = EngineCounters()
         self._shards: Dict[int, FlowCache] = {}
         self._layouts: Dict[int, _ModuleLayout] = {}
+        self._classifiers: Dict[int, CompiledClassifier] = {}
 
     # -- cache management -------------------------------------------------------
 
@@ -166,21 +224,43 @@ class BatchEngine:
         ``repro.api`` calls this when a tenant commits a transaction, is
         updated, or is evicted — making invalidation transactional at the
         API layer. The epoch check makes stale entries unreachable even
-        without this call; flushing additionally frees their memory and
-        their layouts immediately.
+        without this call; flushing additionally frees their memory,
+        their layouts, and their compiled classifiers immediately.
+
+        ``counters.invalidations`` grows by the number of entries
+        actually flushed (matching ``FlowCacheStats.invalidations``);
+        ``counters.invalidation_calls`` grows by one per call.
         """
         flushed = 0
         if vid is None:
             for cache in self._shards.values():
                 flushed += cache.clear()
             self._layouts.clear()
-        elif vid in self._shards:
-            flushed = self._shards[vid].clear()
-            self._layouts.pop(vid, None)
+            self._classifiers.clear()
         else:
+            if vid in self._shards:
+                flushed = self._shards[vid].clear()
             self._layouts.pop(vid, None)
-        self.counters.invalidations += 1
+            self._classifiers.pop(vid, None)
+        self.counters.invalidation_calls += 1
+        self.counters.invalidations += flushed
         return flushed
+
+    def classifier_stats(self) -> Dict[int, ClassifierStats]:
+        """Shape summaries of the currently compiled classifiers."""
+        return {vid: clf.stats() for vid, clf in self._classifiers.items()}
+
+    def _classifier(self, vid: int, epoch: int) -> CompiledClassifier:
+        clf = self._classifiers.get(vid)
+        if clf is None or clf.epoch != epoch:
+            clf = compile_classifier(self.pipeline, vid, epoch)
+            self._classifiers[vid] = clf
+            self.counters.compile_rebuilds += 1
+        return clf
+
+    def _count_fallback(self, reason: str) -> None:
+        fallbacks = self.counters.classifier_fallbacks
+        fallbacks[reason] = fallbacks.get(reason, 0) + 1
 
     def _layout(self, vid: int) -> _ModuleLayout:
         layout = self._layouts.get(vid)
@@ -277,31 +357,70 @@ class BatchEngine:
 
     def _execute_one(self, vid: int, cache: FlowCache, packet: Packet,
                      slot: int) -> Tuple[Optional[Packet], object, int, bool]:
-        """Serve one admitted packet from the cache or the pipeline."""
+        """Serve one admitted packet: cache hit -> compiled -> scalar."""
         pipeline = self.pipeline
         epoch = pipeline.config_epoch
         key = None
         layout = None
-        if self.enable_cache:
+        fits_window = False
+        if self.enable_cache or self.enable_classifier:
             layout = self._layout(vid)
             window = min(len(packet), pipeline.params.parse_window_bytes)
-            if not layout.stateful and layout.max_end <= window:
-                key = (len(packet), packet.ingress_port,
-                       *(packet.read_bytes(off, size)
-                         for off, size in layout.regions))
-                entry = cache.lookup(key, epoch)
-                if entry is not None:
-                    self.counters.cache_hits += 1
-                    self.counters.tenant(vid).cache_hits += 1
-                    phv = entry.phv.copy()
-                    phv.metadata.buffer_tag = 1 << slot
-                    if entry.dropped:
-                        return (None, phv, vid, True)
-                    merged = packet.copy()
-                    for off, data in entry.writes:
-                        merged.write_bytes(off, data)
-                    return (merged, phv, vid, True)
+            fits_window = layout.max_end <= window
 
+        # Level 1: exact-match flow-cache hit.
+        if self.enable_cache and fits_window and not layout.stateful:
+            key = (len(packet), packet.ingress_port,
+                   *(packet.read_bytes(off, size)
+                     for off, size in layout.regions))
+            entry = cache.lookup(key, epoch)
+            if entry is not None:
+                self.counters.cache_hits += 1
+                self.counters.tenant(vid).cache_hits += 1
+                phv = entry.phv.copy()
+                phv.metadata.buffer_tag = 1 << slot
+                if entry.dropped:
+                    return (None, phv, vid, True)
+                merged = packet.copy()
+                for off, data in entry.writes:
+                    merged.write_bytes(off, data)
+                return (merged, phv, vid, True)
+
+        # Level 2: compiled classification (flow cache v2).
+        if self.enable_classifier:
+            if fits_window:
+                clf = self._classifier(vid, epoch)
+                if clf.ok:
+                    outcome = clf.classify(packet, slot)
+                    if type(outcome) is Fallback:
+                        self._count_fallback(outcome.reason)
+                    else:
+                        merged, phv = outcome
+                        self.counters.compiled_hits += 1
+                        tenant = self.counters.tenant(vid)
+                        tenant.compiled_hits += 1
+                        if key is not None:
+                            # Seed the exact-match level: the compiled
+                            # result is pure by construction, exactly
+                            # what the scalar miss path would memoize.
+                            self.counters.cache_misses += 1
+                            tenant.cache_misses += 1
+                            if merged is None:
+                                writes: Tuple[Tuple[int, bytes], ...] = ()
+                            else:
+                                writes = tuple(
+                                    (off, merged.read_bytes(off, size))
+                                    for off, size in layout.deparse)
+                            cache.insert(key, FlowEntry(
+                                epoch=epoch, phv=phv.copy(), writes=writes,
+                                dropped=merged is None))
+                        return (merged, phv, vid, False)
+                else:
+                    self._count_fallback("uncompilable")
+            else:
+                self._count_fallback("parse-window")
+
+        # Level 3: the scalar pipeline walk (the differential oracle).
         before = self._stateful_ops()
         merged, phv = pipeline.execute(packet, vid, buffer_slot=slot)
         pure = self._stateful_ops() == before

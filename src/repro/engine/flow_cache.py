@@ -46,12 +46,20 @@ class FlowEntry:
 
 @dataclass
 class FlowCacheStats:
-    """Counters for one tenant's cache shard."""
+    """Counters for one tenant's cache shard.
+
+    Occupancy invariant (each removal path has exactly one counter):
+    ``len(cache) == insertions - evictions - replacements -
+    invalidations``. A replacement is an :meth:`FlowCache.insert` that
+    overwrote a live entry for the same key — it counts toward both
+    ``insertions`` and ``replacements``, leaving occupancy unchanged.
+    """
 
     hits: int = 0
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
+    replacements: int = 0
     invalidations: int = 0
 
     @property
@@ -95,7 +103,12 @@ class FlowCache:
 
     def insert(self, key: FlowKey, entry: FlowEntry) -> None:
         if key in self._entries:
+            # Overwriting a live entry (e.g. re-learned under a new
+            # epoch before any lookup purged the stale one) replaces
+            # rather than grows: count it so ``insertions - evictions -
+            # replacements - invalidations`` keeps tracking occupancy.
             self._entries.move_to_end(key)
+            self.stats.replacements += 1
         elif len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1

@@ -247,6 +247,18 @@ class PHV:
         }
         self.metadata = Metadata()
 
+    @classmethod
+    def from_container_values(cls, vals: List[int],
+                              params: HardwareParams = DEFAULT_PARAMS) -> "PHV":
+        """Build a PHV from 24 flat container values (B2: 0-7, B4: 8-15,
+        B6: 16-23), with zeroed metadata. The caller guarantees each
+        value fits its container width."""
+        phv = cls(params)
+        phv._values[ContainerType.B2] = list(vals[0:8])
+        phv._values[ContainerType.B4] = list(vals[8:16])
+        phv._values[ContainerType.B6] = list(vals[16:24])
+        return phv
+
     # -- container access ------------------------------------------------------
 
     def get(self, ref: ContainerRef) -> int:

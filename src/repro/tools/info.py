@@ -9,16 +9,53 @@ tooling (dashboards, config generators) instead of the human table.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
+from ..engine.batch import EngineCounters, EngineTenantCounters
 from ..rmt.params import CORUNDUM_PARAMS, DEFAULT_PARAMS, NETFPGA_PARAMS
+
+
+def _engine_info() -> dict:
+    """The serving engine's hot-path shape and counter schema.
+
+    Counter names are introspected from the dataclasses so this section
+    can never drift from :mod:`repro.engine.batch`.
+    """
+    scalar = ("per_tenant", "classifier_fallbacks")
+    return {
+        "hot_path_levels": [
+            {"level": 1, "name": "flow_cache",
+             "counter": "cache_hits",
+             "description": "exact-match hit on the tenant's LRU shard"},
+            {"level": 2, "name": "compiled_classifier",
+             "counter": "compiled_hits",
+             "description": "compiled interval/hash classification of "
+                            "the installed tables (flow cache v2)"},
+            {"level": 3, "name": "scalar_pipeline",
+             "counter": "classifier_fallbacks",
+             "description": "interpreted stage-by-stage walk (the "
+                            "differential oracle)"},
+        ],
+        "counters": [f.name for f in dataclasses.fields(EngineCounters)
+                     if f.name not in scalar],
+        "tenant_counters": [f.name for f in
+                            dataclasses.fields(EngineTenantCounters)],
+        "fallback_reasons": ["stateful", "unsupported-action",
+                             "uncompilable", "parse-window"],
+        "counter_units": {
+            "invalidations": "flushed cache entries",
+            "invalidation_calls": "invalidate() calls",
+        },
+    }
 
 
 def info_dict() -> dict:
     """The Table-5 parameters and table inventory, as plain data."""
     p = DEFAULT_PARAMS
     return {
+        "engine": _engine_info(),
         "params": {
             "containers_per_type": p.containers_per_type,
             "container_sizes": list(p.container_sizes),

@@ -32,8 +32,10 @@ from .flows import (
     arrival_times,
 )
 from .module_workloads import (
+    CACHE_HOSTILE_FLOWS,
     ModuleWorkload,
     all_workloads,
+    cache_hostile_stream,
     flow_stream,
     workload,
 )
@@ -59,10 +61,12 @@ __all__ = [
     "CHURN_KINDS",
     "ChurnEvent",
     "ChurnSchedule",
+    "CACHE_HOSTILE_FLOWS",
     "ModuleWorkload",
     "all_workloads",
     "workload",
     "flow_stream",
+    "cache_hostile_stream",
     "TraceReplayer",
     "load_pcap",
     "read_pcap",

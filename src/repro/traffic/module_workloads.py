@@ -183,3 +183,28 @@ def flow_stream(spec: ModuleWorkload, vid: int, rng: random.Random,
     sampler = sampler or UniformFlows(spec.n_flows)
     return [spec.flow_packet(vid, flow_id)
             for flow_id in sampler.stream(rng, count)]
+
+
+#: Flow-space width of :func:`cache_hostile_stream`. Far beyond any
+#: realistic cache capacity, so almost every packet is a fresh flow.
+CACHE_HOSTILE_FLOWS = 1 << 16
+
+
+def cache_hostile_stream(spec: ModuleWorkload, vid: int,
+                         rng: random.Random, count: int,
+                         n_flows: int = CACHE_HOSTILE_FLOWS) -> List[Packet]:
+    """``count`` packets drawn uniformly from a flow space that dwarfs
+    any exact-match flow cache.
+
+    This is the adversarial regime for the PR 2 flow cache: with
+    ``n_flows`` far above the cache capacity and uniform popularity,
+    nearly every packet misses and — without compiled classification —
+    degrades to the scalar stage-by-stage walk. Every workload's
+    ``flow_packet`` maps the widened flow-ID range onto valid, mostly
+    distinct packets (match-table modules spill past their installed
+    rules into the miss/default path, which is the point: misses are
+    traffic too).
+    """
+    sampler = UniformFlows(max(n_flows, spec.n_flows))
+    return [spec.flow_packet(vid, flow_id)
+            for flow_id in sampler.stream(rng, count)]

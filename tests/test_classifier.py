@@ -1,0 +1,436 @@
+"""Compiled flow classification (flow cache v2) and the PR 7 accounting
+fixes.
+
+Covers the compiler's structure (exact hash, ternary intervals, linear
+residual, stateful/uncompilable bails), the engine's three-level hot
+path and its counters, epoch-driven rebuild/purge, the invalidation
+counter-unit fix, flow-cache replace accounting, the mid-batch layout
+staleness regression, and flow-cache edge cases.
+"""
+
+import pytest
+
+from repro.api import Switch, Tenant
+from repro.core import MenshenPipeline
+from repro.core.reconfig import ResourceId, ResourceType, build_reconfig_packet
+from repro.engine import BatchEngine, FlowCache, FlowEntry, compile_classifier
+from repro.errors import ConfigError, PacketError
+from repro.modules import firewall
+from repro.rmt.encodings import encode_parser_entry
+from repro.rmt.key_extractor import CmpOp, KeyExtractEntry
+from repro.rmt.phv import PHV, ContainerRef, ContainerType
+from repro.runtime import MenshenController
+from repro.traffic import cache_hostile_stream, workload
+from seeds import rng as make_rng
+
+
+def _firewall_switch(vid=3, **engine_kw):
+    switch = Switch.build().create()
+    workload("firewall").admit(switch, vid=vid)
+    engine = switch.engine(scheduled=False, **engine_kw)
+    return switch, engine
+
+
+def _ternary_pair(install):
+    """Two identically configured ternary pipelines + an engine."""
+
+    def build():
+        pipe = MenshenPipeline(match_mode="ternary")
+        ctl = MenshenController(pipe)
+        ctl.load_module(2, firewall.P4_SOURCE_TERNARY, "fw-ternary")
+        install(ctl)
+        return pipe, ctl
+
+    scalar, _ = build()
+    batched, ctl = build()
+    return scalar, batched, ctl, BatchEngine(batched, enable_classifier=True)
+
+
+def _random_fw_packets(rng, count, vid=2):
+    packets = []
+    for _ in range(count):
+        src = ".".join(str(rng.randrange(256)) for _ in range(4))
+        packets.append(firewall.make_packet(vid, src, rng.randrange(65536)))
+    return packets
+
+
+def _assert_differential(scalar, engine, packets, context=""):
+    scalar_results = [scalar.process(p.copy()) for p in packets]
+    engine_results = engine.process_batch([p.copy() for p in packets])
+    for i, (a, b) in enumerate(zip(scalar_results, engine_results)):
+        where = f"{context} packet {i}"
+        assert a.dropped == b.dropped, where
+        assert a.drop_reason == b.drop_reason, where
+        assert a.egress_port == b.egress_port, where
+        assert a.mcast_group == b.mcast_group, where
+        assert (a.packet is None) == (b.packet is None), where
+        if a.packet is not None:
+            assert a.packet.tobytes() == b.packet.tobytes(), where
+        if a.phv is not None:
+            assert a.phv == b.phv, f"{where}: PHV diverged"
+
+
+# ---------------------------------------------------------------------------
+# compiler structure
+# ---------------------------------------------------------------------------
+
+class TestCompilerStructure:
+    def test_exact_module_compiles_to_hash(self):
+        switch, _ = _firewall_switch()
+        clf = compile_classifier(switch.pipeline, 3,
+                                 switch.pipeline.config_epoch)
+        stats = clf.stats()
+        assert stats.ok and stats.reason == ""
+        assert stats.stages >= 1
+        assert stats.exact_keys >= 4       # blocked + 3 allowed rules
+        assert stats.intervals == 0
+        assert stats.residual_entries == 0
+        assert stats.stateful_leaves == 0
+
+    def test_ternary_prefixes_compile_to_intervals(self):
+        def install(ctl):
+            firewall.install_prefix(
+                Tenant.attach(ctl, 2),
+                blocked_prefixes=[("10.66.0.0", 16)], default_port=3)
+
+        _scalar, batched, _ctl, engine = _ternary_pair(install)
+        clf = compile_classifier(batched, 2, batched.config_epoch)
+        stats = clf.stats()
+        assert stats.ok
+        assert stats.intervals >= 2        # blocked range + default pieces
+        assert stats.residual_entries == 0
+        del engine
+
+    def test_non_contiguous_mask_falls_back_to_residual(self):
+        from repro.net import Ipv4Address
+
+        def install(ctl):
+            # Wildcard bits interleaved with match bits: no contiguous
+            # range in the compacted key space, so the stage compiles to
+            # the linear value/mask residual instead.
+            ctl.table_add(2, "acl",
+                          {"hdr.ipv4.srcAddr": int(Ipv4Address("10.0.10.0")),
+                           "hdr.udp.dstPort": 0},
+                          "block",
+                          key_masks={"hdr.ipv4.srcAddr": 0xFF00FF00,
+                                     "hdr.udp.dstPort": 0})
+            firewall.install_prefix(Tenant.attach(ctl, 2), default_port=5)
+
+        scalar, batched, _ctl, engine = _ternary_pair(install)
+        clf = compile_classifier(batched, 2, batched.config_epoch)
+        stats = clf.stats()
+        assert stats.ok
+        assert stats.residual_entries >= 2
+        assert stats.intervals == 0
+        _assert_differential(scalar, engine,
+                             _random_fw_packets(make_rng(710), 300),
+                             "residual")
+        assert engine.counters.compiled_hits > 0
+
+    def test_ternary_priority_matches_scalar_on_overlaps(self):
+        def install(ctl):
+            firewall.install_prefix(
+                Tenant.attach(ctl, 2),
+                blocked_prefixes=[("10.66.0.0", 16), ("10.0.0.0", 8)],
+                default_port=3)
+
+        scalar, _batched, _ctl, engine = _ternary_pair(install)
+        packets = _random_fw_packets(make_rng(711), 400)
+        # Force traffic into the overlapping region too.
+        rng = make_rng(712)
+        for _ in range(200):
+            packets.append(firewall.make_packet(
+                2, f"10.66.{rng.randrange(256)}.{rng.randrange(256)}",
+                rng.randrange(65536)))
+        _assert_differential(scalar, engine, packets, "overlap-priority")
+        assert engine.counters.compiled_hits == len(packets)
+
+    def test_stateful_leaves_are_counted_and_bail(self):
+        switch = Switch.build().create()
+        workload("netcache").admit(switch, vid=4)
+        clf = compile_classifier(switch.pipeline, 4,
+                                 switch.pipeline.config_epoch)
+        assert clf.ok
+        assert clf.stats().stateful_leaves >= 1
+
+    def test_metadata_predicate_is_uncompilable(self):
+        switch, _ = _firewall_switch()
+        pipeline = switch.pipeline
+        stage = switch.controller._loaded(3).compiled.stages_used()[0]
+        entry = KeyExtractEntry(
+            cmp_op=CmpOp.EQ,
+            cmp_a=ContainerRef(ContainerType.META, 0), cmp_b=0)
+        pipeline.stages[stage].key_extract_table.write(3, entry.encode())
+        clf = compile_classifier(pipeline, 3, pipeline.config_epoch)
+        assert not clf.ok
+        assert "metadata" in clf.reason
+
+
+# ---------------------------------------------------------------------------
+# the three-level hot path
+# ---------------------------------------------------------------------------
+
+class TestThreeLevelHotPath:
+    def test_compiled_hit_seeds_the_exact_match_cache(self):
+        _switch, engine = _firewall_switch(enable_cache=True,
+                                           enable_classifier=True)
+        packet = workload("firewall").flow_packet(3, 1)
+        first = engine.process(packet.copy())
+        second = engine.process(packet.copy())
+        counters = engine.counters
+        assert not first.cache_hit and second.cache_hit
+        assert counters.compiled_hits == 1
+        assert counters.cache_hits == 1
+        assert counters.cache_misses == 1     # the seeding insert
+        assert engine.shard(3).stats.insertions == 1
+
+    def test_uniform_traffic_is_served_compiled(self):
+        _switch, engine = _firewall_switch(enable_cache=True,
+                                           enable_classifier=True)
+        packets = cache_hostile_stream(workload("firewall"), 3,
+                                       make_rng(713), 500)
+        engine.process_batch(packets)
+        counters = engine.counters
+        assert counters.compiled_hits + counters.cache_hits == 500
+        assert counters.compiled_hits > 400   # uniform => mostly misses
+        assert not counters.classifier_fallbacks
+
+    def test_stateful_flows_fall_back_with_reason(self):
+        switch = Switch.build().create()
+        workload("netcache").admit(switch, vid=4)
+        engine = switch.engine(scheduled=False, enable_classifier=True)
+        packets = [workload("netcache").flow_packet(4, i) for i in range(20)]
+        engine.process_batch(packets)
+        counters = engine.counters
+        assert counters.compiled_hits == 0
+        assert counters.classifier_fallbacks.get("stateful") == 20
+        assert counters.uncacheable == 20
+
+    def test_uncompilable_module_falls_back_and_oracle_faults(self):
+        switch, engine = _firewall_switch(enable_classifier=True)
+        pipeline = switch.pipeline
+        stage = switch.controller._loaded(3).compiled.stages_used()[0]
+        entry = KeyExtractEntry(
+            cmp_op=CmpOp.EQ,
+            cmp_a=ContainerRef(ContainerType.META, 0), cmp_b=0)
+        pipeline.inject_reconfig(build_reconfig_packet(
+            ResourceId(ResourceType.KEY_EXTRACTOR, stage), index=3,
+            entry=entry.encode(), params=switch.params))
+        # The classifier refuses the config; the scalar oracle then
+        # reproduces the per-packet fault the config always caused.
+        with pytest.raises(ConfigError, match="metadata"):
+            engine.process(workload("firewall").flow_packet(3, 1))
+        assert engine.counters.classifier_fallbacks.get("uncompilable") == 1
+
+    def test_short_packet_falls_back_parse_window(self):
+        _switch, engine = _firewall_switch(enable_classifier=True)
+        packet = workload("firewall").flow_packet(3, 1)
+        packet.truncate(18)   # keeps the VLAN tag, loses the parsed bytes
+        with pytest.raises(PacketError):
+            engine.process(packet)
+        assert engine.counters.classifier_fallbacks.get("parse-window") == 1
+
+    def test_classifier_disabled_takes_scalar_path(self):
+        _switch, engine = _firewall_switch(enable_cache=False,
+                                           enable_classifier=False)
+        packets = [workload("firewall").flow_packet(3, i) for i in range(10)]
+        engine.process_batch(packets)
+        assert engine.counters.compiled_hits == 0
+        assert engine.counters.compile_rebuilds == 0
+
+
+# ---------------------------------------------------------------------------
+# epoch rebuild and purge
+# ---------------------------------------------------------------------------
+
+class TestRebuildAndPurge:
+    def test_epoch_bump_rebuilds_lazily(self):
+        switch, engine = _firewall_switch(enable_classifier=True)
+        spec = workload("firewall")
+        engine.process(spec.flow_packet(3, 1))
+        assert engine.counters.compile_rebuilds == 1
+        engine.process(spec.flow_packet(3, 2))
+        assert engine.counters.compile_rebuilds == 1   # same epoch: reused
+
+        switch.tenant(3).update(spec.source)           # epoch moves
+        engine.process(spec.flow_packet(3, 1))
+        assert engine.counters.compile_rebuilds == 2
+        (stats,) = engine.classifier_stats().values()
+        assert stats.epoch == switch.pipeline.config_epoch
+
+    def test_invalidate_purges_classifiers(self):
+        _switch, engine = _firewall_switch(enable_classifier=True)
+        engine.process(workload("firewall").flow_packet(3, 1))
+        assert engine.classifier_stats()
+        engine.invalidate(3)
+        assert not engine.classifier_stats()
+        engine.process(workload("firewall").flow_packet(3, 1))
+        assert engine.counters.compile_rebuilds == 2
+
+    def test_invalidate_all_purges_everything(self):
+        _switch, engine = _firewall_switch(enable_classifier=True)
+        engine.process(workload("firewall").flow_packet(3, 1))
+        engine.invalidate()
+        assert not engine.classifier_stats()
+
+
+# ---------------------------------------------------------------------------
+# satellite 1: invalidation counter units
+# ---------------------------------------------------------------------------
+
+class TestInvalidationAccounting:
+    def test_invalidations_count_flushed_entries(self):
+        _switch, engine = _firewall_switch(enable_cache=True)
+        spec = workload("firewall")
+        engine.process_batch([spec.flow_packet(3, i) for i in range(5)])
+        cached = len(engine.shard(3))
+        assert cached == 5
+        flushed = engine.invalidate(3)
+        assert flushed == 5
+        assert engine.counters.invalidations == 5
+        assert engine.counters.invalidation_calls == 1
+        # Same unit as the shard's own stats.
+        assert engine.shard(3).stats.invalidations == 5
+
+    def test_noop_invalidate_counts_the_call_only(self):
+        _switch, engine = _firewall_switch()
+        assert engine.invalidate(999) == 0
+        assert engine.counters.invalidations == 0
+        assert engine.counters.invalidation_calls == 1
+
+    def test_invalidate_vid_with_layout_but_no_shard(self):
+        # A VID whose layout (and classifier) exist but whose shard
+        # does not: invalidate must not trip over the missing shard and
+        # must still purge the layout and classifier. (The engine only
+        # grows shards alongside layouts, so the state is constructed.)
+        _switch, engine = _firewall_switch(enable_cache=False,
+                                           enable_classifier=True)
+        engine.process(workload("firewall").flow_packet(3, 1))
+        assert 3 in engine._layouts
+        del engine._shards[3]
+        assert engine.invalidate(3) == 0
+        assert engine.counters.invalidations == 0
+        assert engine.counters.invalidation_calls == 1
+        assert 3 not in engine._layouts
+        assert not engine.classifier_stats()
+
+
+# ---------------------------------------------------------------------------
+# satellite 2: flow-cache replace accounting; satellite 4: edge cases
+# ---------------------------------------------------------------------------
+
+def _entry(epoch):
+    return FlowEntry(epoch=epoch, phv=PHV(), writes=(), dropped=False)
+
+
+def _occupancy_holds(cache):
+    stats = cache.stats
+    return len(cache) == (stats.insertions - stats.evictions
+                          - stats.replacements - stats.invalidations)
+
+
+class TestFlowCacheEdges:
+    def test_replace_is_counted_and_occupancy_tracks(self):
+        cache = FlowCache(4)
+        cache.insert(("k",), _entry(1))
+        cache.insert(("k",), _entry(2))     # same key: replacement
+        assert cache.stats.insertions == 2
+        assert cache.stats.replacements == 1
+        assert cache.stats.evictions == 0
+        assert len(cache) == 1 and _occupancy_holds(cache)
+
+    def test_capacity_one_lru_churn(self):
+        cache = FlowCache(1)
+        cache.insert(("a",), _entry(0))
+        cache.insert(("b",), _entry(0))     # evicts a
+        assert cache.lookup(("a",), 0) is None
+        assert cache.lookup(("b",), 0) is not None
+        cache.insert(("a",), _entry(0))     # evicts b
+        assert cache.lookup(("b",), 0) is None
+        assert len(cache) == 1
+        assert cache.stats.evictions == 2
+        assert cache.stats.replacements == 0
+        assert _occupancy_holds(cache)
+
+    def test_stale_entry_overwritten_before_lookup(self):
+        # A stale-epoch entry replaced by insert() before any lookup
+        # purges it: counted as a replacement, not an invalidation.
+        cache = FlowCache(4)
+        cache.insert(("k",), _entry(1))
+        cache.insert(("k",), _entry(2))     # re-learned under new epoch
+        hit = cache.lookup(("k",), 2)
+        assert hit is not None and hit.epoch == 2
+        assert cache.stats.invalidations == 0
+        assert cache.stats.replacements == 1
+        assert _occupancy_holds(cache)
+
+    def test_stale_entry_purged_by_lookup(self):
+        cache = FlowCache(4)
+        cache.insert(("k",), _entry(1))
+        assert cache.lookup(("k",), 2) is None
+        assert cache.stats.invalidations == 1
+        assert len(cache) == 0 and _occupancy_holds(cache)
+
+    def test_hit_rate_with_zero_traffic(self):
+        cache = FlowCache(4)
+        assert cache.stats.hit_rate == 0.0
+
+
+# ---------------------------------------------------------------------------
+# satellite 3: no stale layout across a mid-batch reconfiguration
+# ---------------------------------------------------------------------------
+
+class TestMidBatchLayoutStaleness:
+    def test_parser_rewrite_inside_batch_refreshes_layout(self):
+        """A dataplane write that changes the parse program mid-batch
+        must not let packets behind the barrier use the old layout."""
+
+        def build():
+            switch = Switch.build().reconfig_from_dataplane().create()
+            workload("firewall").admit(switch, vid=3)
+            return switch
+
+        scalar = build()
+        batched = build()
+        engine = batched.engine(scheduled=False, enable_cache=True,
+                                enable_classifier=True)
+
+        # Truncate the firewall's parse program to its first action:
+        # later fields stay zero, so match behavior visibly changes,
+        # and the engine's cached layout regions become stale.
+        actions = scalar.pipeline.parser.read_program(3)
+        assert len(actions) > 1
+        truncated = encode_parser_entry([actions[0].encode()])
+        rewrite = build_reconfig_packet(
+            ResourceId(ResourceType.PARSER_TABLE, 0), index=3,
+            entry=truncated, params=scalar.params)
+
+        spec = workload("firewall")
+        rng = make_rng(714)
+        flows = [spec.flow_packet(3, rng.randrange(256)) for _ in range(80)]
+        batch = flows[:40] + [rewrite] + flows[40:]
+
+        scalar_results = [scalar.process(p.copy()) for p in batch]
+        engine_results = engine.process_batch([p.copy() for p in batch])
+
+        for i, (a, b) in enumerate(zip(scalar_results, engine_results)):
+            assert a.dropped == b.dropped, f"packet {i}"
+            assert a.egress_port == b.egress_port, f"packet {i}"
+            if a.packet is not None:
+                assert a.packet.tobytes() == b.packet.tobytes(), f"packet {i}"
+
+        # The layout served after the barrier is the rewritten one, not
+        # the one cached when the batch started.
+        layout = engine._layouts[3]
+        assert layout.epoch == batched.pipeline.config_epoch
+        assert len(layout.regions) == 1
+        # And the rewrite is observable: some flow that appears on both
+        # sides of the barrier changed its scalar verdict, so the
+        # equivalence above really did exercise a stale-layout hazard.
+        pre = {batch[i].tobytes(): (r.dropped, r.egress_port)
+               for i, r in enumerate(scalar_results[:40])}
+        flipped = any(
+            batch[i].tobytes() in pre
+            and pre[batch[i].tobytes()] != (r.dropped, r.egress_port)
+            for i, r in enumerate(scalar_results) if i > 40)
+        assert flipped, "parser rewrite produced no observable change"

@@ -21,7 +21,7 @@ WARMUP = 120    #: packets before assertions about hits kick in
 ROUNDS = 360
 
 
-def build_pair(specs, **build_kw):
+def build_pair(specs, engine_kw=None, **build_kw):
     """Two identically configured switches + an engine on the second."""
 
     def build():
@@ -33,7 +33,7 @@ def build_pair(specs, **build_kw):
 
     scalar = build()
     batched = build()
-    return scalar, batched, batched.engine()
+    return scalar, batched, batched.engine(**(engine_kw or {}))
 
 
 def _build_with(**kw):
@@ -104,29 +104,55 @@ def assert_same_observable_state(scalar, batched):
 # all eight modules, warm cache included
 # ---------------------------------------------------------------------------
 
+#: Engine configurations the equivalence contract is pinned under:
+#: the full three-level hot path, and classifier-only (exact-match
+#: cache off), which forces *every* pure packet through the compiled
+#: path instead of letting warm flows hide behind cache hits.
+ENGINE_MODES = {
+    "cached": {"enable_classifier": True},
+    "classifier-only": {"enable_cache": False, "enable_classifier": True},
+}
+
+
+@pytest.mark.parametrize("mode", sorted(ENGINE_MODES))
 @pytest.mark.parametrize("spec", all_workloads(), ids=lambda s: s.name)
-def test_batched_equals_scalar(spec):
+def test_batched_equals_scalar(spec, mode):
     offset = 100 + [w.name for w in all_workloads()].index(spec.name)
     rng = make_rng(offset)
     packets = flow_stream(spec, 3, rng, ROUNDS,
                           ZipfFlows(spec.n_flows, skew=0.9))
-    scalar, batched, engine = build_pair([(3, spec)])
+    scalar, batched, engine = build_pair([(3, spec)],
+                                         engine_kw=ENGINE_MODES[mode])
 
     scalar_results = [scalar.process(p.copy()) for p in packets]
     engine_results = TraceReplayer(packets).replay(engine, batch_size=64)
 
-    assert_equivalent(scalar_results, engine_results, spec.name)
+    assert_equivalent(scalar_results, engine_results, f"{spec.name}/{mode}")
     assert_same_observable_state(scalar, batched)
 
+    counters = engine.counters
     if spec.stateful:
-        # State-carrying modules must never be served from the cache.
-        assert engine.counters.cache_hits == 0
-        assert engine.counters.uncacheable == ROUNDS
+        # State-carrying modules must never be served from the cache or
+        # the compiled path: every packet hits a stateful leaf, bails,
+        # and takes the scalar walk.
+        assert counters.cache_hits == 0
+        assert counters.compiled_hits == 0
+        assert counters.uncacheable == ROUNDS
+        assert counters.classifier_fallbacks.get("stateful") == ROUNDS
+    elif mode == "classifier-only":
+        # With the exact-match level off, every pure packet must be a
+        # compiled hit — otherwise this test silently stops covering
+        # the classifier.
+        assert counters.compiled_hits == ROUNDS
+        assert counters.cache_hits == 0
+        assert not counters.classifier_fallbacks
     else:
         # Zipf-0.9 over a warm cache must actually hit; otherwise this
-        # test silently stops covering the cached path.
-        assert engine.counters.cache_hits > WARMUP
+        # test silently stops covering the cached path. Cold misses are
+        # served by the compiled level, never the scalar walk.
+        assert counters.cache_hits > WARMUP
         assert any(r.cache_hit for r in engine_results[WARMUP:])
+        assert counters.cache_hits + counters.compiled_hits == ROUNDS
 
 
 def test_two_tenants_interleaved():

@@ -199,6 +199,12 @@ class TestFlowCacheProperties:
             cache.insert((key,), _entry(epoch))
             shadow[key] = epoch
             assert len(cache) <= capacity
+            # Occupancy invariant: every removal path has exactly one
+            # counter, and a same-key overwrite counts as a replacement.
+            stats = cache.stats
+            assert len(cache) == (stats.insertions - stats.evictions
+                                  - stats.replacements
+                                  - stats.invalidations)
 
     def test_lru_keeps_the_hot_key(self):
         cache = FlowCache(2)
