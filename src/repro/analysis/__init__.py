@@ -1,7 +1,7 @@
 """Static analysis: isolation proofs for tenant programs, determinism
-lint for the codebase.
+lint for the codebase, equivalence certification for compiled artifacts.
 
-Two faces share one diagnostics model (:class:`Finding`,
+Three faces share one diagnostics model (:class:`Finding`,
 :class:`Severity`, :class:`AnalysisReport`):
 
 * the **verifier** (:mod:`repro.analysis.passes`,
@@ -10,11 +10,19 @@ Two faces share one diagnostics model (:class:`Finding`,
   VIDs' write sets are disjoint, that routing stays loop-free, and that
   nothing it installs can rewrite tenant identity;
 * the **lint** (:mod:`repro.analysis.lint`, CLI ``repro-lint``) bans
-  nondeterminism and fork-hostile state from our own sources.
+  nondeterminism and fork-hostile state from our own sources;
+* the **certifier** (:mod:`repro.analysis.equiv`, CLI
+  ``repro-verify --classifier``) statically proves a tenant's compiled
+  classifier (flow cache v2) equivalent to its installed tables, and
+  synthesizes counterexample packets when it is not.
 
 This package sits *below* :mod:`repro.runtime`, :mod:`repro.api`, and
-:mod:`repro.fabric` in the layering — they import it to gate admission;
-it only imports the compiler, core, and rmt layers.
+:mod:`repro.fabric` in the layering — they import it to gate admission.
+The verifier and lint only import the compiler, core, and rmt layers;
+the :mod:`~repro.analysis.equiv` subpackage additionally imports
+:mod:`repro.engine` (its subject is the engine's compiled artifact) and
+is therefore *not* re-exported here — import it explicitly, as the
+engine does lazily for ``BatchEngine(check_compiled=...)``.
 """
 
 from .findings import AnalysisReport, Finding, Severity

@@ -1,0 +1,251 @@
+"""Symbolic replay of compiled classifier leaves against VLIW source.
+
+The certifier must prove that a compiled leaf — a tuple of flat ALU op
+tuples produced by :func:`repro.engine.classifier._compile_ops` — writes
+exactly what the scalar :class:`~repro.rmt.action_engine.ActionEngine`
+would write for the same source :class:`~repro.rmt.action.VliwInstruction`,
+for *every* input PHV. Rather than sampling inputs, both sides are
+replayed over a **symbolic PHV**: each data container starts as an opaque
+byte-level value ``("sym", flat)`` and every ALU result is an expression
+tree over those values. Two leaves are equivalent iff they produce the
+same expression per written container, the same egress-port and
+multicast expressions, and the same discard flag.
+
+Expressions are plain nested tuples (hashable, comparable):
+
+``("sym", flat)``
+    the incoming value of data container ``flat`` (0-23);
+``("const", value)``
+    a known integer (immediates, and the scalar path's "missing operand
+    reads as zero" rule);
+``("add" | "sub", a, b, wrap)``
+    wrapping arithmetic — ``(a ± b) & wrap``, matching both
+    ``PHV.set_wrapping`` (mod :math:`2^{8w}`) and the compiled path's
+    ``& wrap`` (identical in Python for negative intermediates too).
+
+No algebraic simplification is performed: the stock compiler emits op
+tuples structurally parallel to the decoded instruction, so structural
+equality is exact there, and any structural divergence introduced by a
+corrupted artifact is precisely what the certifier must surface.
+
+:func:`reference_fallback_reason` re-derives, from the decoded
+instruction alone, whether the compiler *must* bail this leaf to the
+scalar oracle and why — mirroring ``_compile_ops``'s precedence
+(stateful first, then metadata-faulting actions) so that ``Fallback``
+leaves can be checked for carrying an accurate reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, cast
+
+from ...engine.classifier import (
+    _ADD,
+    _ADDI,
+    _DISCARD,
+    _MCAST,
+    _PORT,
+    _SET,
+    _SUB,
+    _SUBI,
+    _WRAP,
+)
+from ...rmt.action import AluOp, VliwInstruction
+from ...rmt.phv import ContainerRef, ContainerType
+
+#: Abstract byte-level value: a nested tuple expression (see module doc).
+Expr = Tuple[object, ...]
+
+_NUM_DATA_CONTAINERS = 24
+_META_SLOT = 24
+
+
+def sym(flat: int) -> Expr:
+    """The incoming (pre-leaf) value of data container ``flat``."""
+    return ("sym", flat)
+
+
+def const(value: int) -> Expr:
+    """A known integer value."""
+    return ("const", value)
+
+
+def render_expr(expr: Expr) -> str:
+    """Human-readable rendering of an expression tree."""
+    tag = expr[0]
+    if tag == "sym":
+        return f"c{expr[1]}"
+    if tag == "const":
+        return str(expr[1])
+    op = "+" if tag == "add" else "-"
+    a = cast(Expr, expr[1])
+    b = cast(Expr, expr[2])
+    wrap = cast(int, expr[3])
+    return f"(({render_expr(a)} {op} {render_expr(b)}) & {wrap:#x})"
+
+
+@dataclass(frozen=True)
+class Effect:
+    """The complete observable effect of one leaf on a symbolic PHV.
+
+    ``writes`` maps written container slots to their new expressions
+    (slots not listed keep their incoming value); ``dst_port`` and
+    ``mcast`` are the metadata expressions when the leaf sets them
+    (``None`` = untouched); ``discard`` is the discard flag.
+    """
+
+    writes: Tuple[Tuple[int, Expr], ...]
+    dst_port: Optional[Expr] = None
+    mcast: Optional[Expr] = None
+    discard: bool = False
+
+    def render(self) -> str:
+        parts: List[str] = []
+        for slot, expr in self.writes:
+            parts.append(f"c{slot}:={render_expr(expr)}")
+        if self.dst_port is not None:
+            parts.append(f"port:={render_expr(self.dst_port)}")
+        if self.mcast is not None:
+            parts.append(f"mcast:={render_expr(self.mcast)}")
+        if self.discard:
+            parts.append("discard")
+        return "{" + ", ".join(parts) + "}" if parts else "{no-op}"
+
+
+def reference_fallback_reason(instruction: VliwInstruction) -> Optional[str]:
+    """Why the scalar semantics *require* this leaf to bail, or ``None``.
+
+    Re-derives — from the decoded instruction, not from the compiler —
+    the exact precedence ``_compile_ops`` uses: a stateful op
+    (``LOAD``/``STORE``/``LOADD``) forces ``"stateful"``; a
+    container-writing op on the metadata ALU slot, or any metadata
+    operand, faults the scalar path and forces ``"unsupported-action"``.
+    """
+    for slot, action in instruction.non_nop():
+        op = action.opcode
+        if op.is_stateful:
+            return "stateful"
+        if op.writes_container and slot == _META_SLOT:
+            return "unsupported-action"
+        for ref in (action.c1, action.c2):
+            if isinstance(ref, ContainerRef) and \
+                    ref.ctype == ContainerType.META:
+                return "unsupported-action"
+    return None
+
+
+def _read(ref: Optional[ContainerRef]) -> Expr:
+    # The scalar ActionEngine reads a missing operand as the constant 0
+    # (``_operand(phv, None) == 0``), *not* as container 0.
+    if ref is None:
+        return const(0)
+    return sym(ref.flat_index)
+
+
+def reference_effect(instruction: VliwInstruction) -> Effect:
+    """Symbolic effect of one VLIW instruction under scalar semantics.
+
+    Mirrors :class:`~repro.rmt.action_engine.ActionEngine`: every
+    operand observes the *incoming* PHV (read-before-write VLIW), and
+    arithmetic wraps at the destination container's width. The caller
+    must have established :func:`reference_fallback_reason` is ``None``
+    — stateful and metadata-faulting actions have no pure effect.
+    """
+    if reference_fallback_reason(instruction) is not None:
+        raise ValueError("instruction has no pure scalar effect")
+    writes: Dict[int, Expr] = {}
+    port: Optional[Expr] = None
+    mcast: Optional[Expr] = None
+    discard = False
+    for slot, action in instruction.non_nop():
+        op = action.opcode
+        a = _read(action.c1)
+        b = _read(action.c2)
+        imm = action.immediate or 0
+        if op == AluOp.ADD:
+            writes[slot] = ("add", a, b, _WRAP[slot])
+        elif op == AluOp.SUB:
+            writes[slot] = ("sub", a, b, _WRAP[slot])
+        elif op == AluOp.ADDI:
+            writes[slot] = ("add", a, const(imm), _WRAP[slot])
+        elif op == AluOp.SUBI:
+            writes[slot] = ("sub", a, const(imm), _WRAP[slot])
+        elif op == AluOp.SET:
+            writes[slot] = const(imm & _WRAP[slot])
+        elif op == AluOp.PORT:
+            port = ("add", a, const(imm), 0xFFFF)
+        elif op == AluOp.MCAST:
+            mcast = ("add", a, const(imm), 0xFFFF)
+        elif op == AluOp.DISCARD:
+            discard = True
+        else:  # pragma: no cover — non-NOP opcodes exhausted above
+            raise ValueError(f"unexpected opcode {op!r}")
+    return Effect(writes=tuple(sorted(writes.items())), dst_port=port,
+                  mcast=mcast, discard=discard)
+
+
+def compiled_effect(ops: Tuple[Tuple[int, int, int, int, int], ...]
+                    ) -> Effect:
+    """Symbolic effect of one compiled op-tuple leaf.
+
+    Mirrors ``CompiledClassifier.classify``'s execution loop exactly:
+    all operand reads observe the incoming container values, container
+    writes are buffered and applied after the whole leaf (in op order,
+    so a duplicate destination keeps the *last* write — just as the
+    engine would). Raises :class:`ValueError` on malformed op tuples
+    (out-of-range slots or unknown codes), which the certifier reports
+    as a violation rather than letting the engine fault.
+    """
+    port: Optional[Expr] = None
+    mcast: Optional[Expr] = None
+    discard = False
+    pending: List[Tuple[int, Expr]] = []
+    for op_tuple in ops:
+        code, slot, a, b, wrap = op_tuple
+        if code in (_ADD, _SUB, _ADDI, _SUBI, _SET):
+            if not 0 <= slot < _NUM_DATA_CONTAINERS:
+                raise ValueError(
+                    f"op code {code} writes out-of-range slot {slot}")
+        if code in (_ADD, _SUB, _ADDI, _SUBI, _PORT, _MCAST):
+            if not 0 <= a < _NUM_DATA_CONTAINERS:
+                raise ValueError(
+                    f"op code {code} reads out-of-range operand {a}")
+        if code in (_ADD, _SUB) and not 0 <= b < _NUM_DATA_CONTAINERS:
+            raise ValueError(
+                f"op code {code} reads out-of-range operand {b}")
+        if code == _ADD:
+            pending.append((slot, ("add", sym(a), sym(b), wrap)))
+        elif code == _SUB:
+            pending.append((slot, ("sub", sym(a), sym(b), wrap)))
+        elif code == _ADDI:
+            pending.append((slot, ("add", sym(a), const(b), wrap)))
+        elif code == _SUBI:
+            pending.append((slot, ("sub", sym(a), const(b), wrap)))
+        elif code == _SET:
+            pending.append((slot, const(b & wrap)))
+        elif code == _PORT:
+            port = ("add", sym(a), const(b), 0xFFFF)
+        elif code == _MCAST:
+            mcast = ("add", sym(a), const(b), 0xFFFF)
+        elif code == _DISCARD:
+            discard = True
+        else:
+            raise ValueError(f"unknown compiled op code {code}")
+    writes: Dict[int, Expr] = {}
+    for slot, expr in pending:
+        writes[slot] = expr
+    return Effect(writes=tuple(sorted(writes.items())), dst_port=port,
+                  mcast=mcast, discard=discard)
+
+
+__all__ = [
+    "Effect",
+    "Expr",
+    "compiled_effect",
+    "const",
+    "reference_effect",
+    "reference_fallback_reason",
+    "render_expr",
+    "sym",
+]

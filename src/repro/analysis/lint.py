@@ -24,6 +24,12 @@ unsafe to fork:
     ``frozenset`` (for-loops, comprehensions) — Python set order is
     salted per process, so any output derived from it is
     nondeterministic. Wrapping in ``sorted(...)`` neutralizes it.
+``bare-assert``
+    ``assert`` statements in library code. Asserts are compiled away
+    under ``python -O``, so an invariant guarded by one silently stops
+    being checked in optimized deployments — raise a typed
+    :mod:`repro.errors` exception instead. (Tests are not linted;
+    pytest asserts are fine where they live.)
 
 Suppression is per-line via a pragma comment::
 
@@ -56,7 +62,8 @@ from typing import (
 
 from .findings import AnalysisReport, Finding, Severity
 
-RULES = ("mutable-global", "unseeded-random", "wall-clock", "set-iteration")
+RULES = ("mutable-global", "unseeded-random", "wall-clock", "set-iteration",
+         "bare-assert")
 
 _PRAGMA_RE = re.compile(
     r"#\s*repro-lint:\s*disable(?:=([\w\-, ]+))?")
@@ -400,6 +407,17 @@ def _check_set_iteration(tree: ast.Module, path: str) -> Iterator[Finding]:
     yield from finder.findings
 
 
+def _check_bare_assert(tree: ast.Module, path: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assert):
+            yield Finding(
+                code="bare-assert", severity=Severity.ERROR,
+                message=("assert statement in library code is stripped "
+                         "under python -O; raise a repro.errors "
+                         "exception instead"),
+                pass_name="lint", subject=path, line=node.lineno)
+
+
 # ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
@@ -429,6 +447,8 @@ def lint_source(source: str, path: str = "<string>",
                    if f.code in rules)
     if "set-iteration" in rules:
         raw.extend(_check_set_iteration(tree, path))
+    if "bare-assert" in rules:
+        raw.extend(_check_bare_assert(tree, path))
     raw.sort(key=lambda f: (f.line, f.code))
     for finding in raw:
         if not _suppressed(pragmas, finding.line, finding.code):

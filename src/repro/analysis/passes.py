@@ -40,11 +40,13 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    cast,
 )
 
 from ..compiler.backend import CompiledModule
 from ..compiler.ir import ModuleIR
 from ..compiler.target import TargetDescription
+from ..core.intervals import overlap as _ranges_overlap
 from ..core.resources import ModuleAllocation
 from ..rmt.params import DEFAULT_PARAMS, HardwareParams
 from .findings import Finding, Severity
@@ -132,16 +134,14 @@ class ResourceQuotaPass(ModulePass):
         params = ctx.params
         usage = module.resource_usage()
 
-        parse_actions = usage["parse_actions"]
-        assert isinstance(parse_actions, int)
+        parse_actions = cast(int, usage["parse_actions"])
         if parse_actions > params.parse_actions_per_entry:
             yield self.finding(
                 "quota-parse-actions", Severity.ERROR,
                 f"{parse_actions} parse actions exceed the parser's "
                 f"{params.parse_actions_per_entry}", subject=ctx.name)
 
-        containers = usage["containers"]
-        assert isinstance(containers, dict)
+        containers = cast(Dict[str, int], usage["containers"])
         for cls_name, count in containers.items():
             if count > params.containers_per_type:
                 yield self.finding(
@@ -282,10 +282,6 @@ class DeadCodePass(ModulePass):
 class ConfigPass(AnalysisPass):
     def run(self, ctx: ConfigContext) -> Iterator[Finding]:
         raise NotImplementedError
-
-
-def _ranges_overlap(a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> bool:
-    return a_lo < b_hi and b_lo < a_hi
 
 
 class WriteSetDisjointnessPass(ConfigPass):

@@ -81,11 +81,10 @@ def analyze_source(source: str, name: str = "<module>",
     report = AnalysisReport()
     try:
         env = typecheck(parse_source(source, name))
-        ir: Optional[ModuleIR] = lower(env)
+        ir: ModuleIR = lower(env)
     except CompilerError as exc:
         report.add(_compiler_finding(exc, name))
         return report
-    assert ir is not None
     ir.name = name
     module: Optional[CompiledModule] = None
     try:

@@ -260,11 +260,23 @@ class Switch:
 
     # -- static analysis ---------------------------------------------------------
 
-    def analyze(self) -> AnalysisReport:
+    def analyze(self, certify_classifiers: bool = True) -> AnalysisReport:
         """Run the config passes over everything currently loaded: the
         standing isolation proof (write-set disjointness, identity
-        writes) for this switch's live configuration."""
-        return analyze_switch(self._controller)
+        writes) for this switch's live configuration.
+
+        With ``certify_classifiers`` (the default), each loaded tenant's
+        compiled classifier is additionally certified equivalent to the
+        installed tables (:mod:`repro.analysis.equiv`); any violated
+        obligation lands in the report as an ``equiv-*`` ERROR finding.
+        """
+        report = analyze_switch(self._controller)
+        if certify_classifiers:
+            from ..analysis.equiv import certify_classifier
+            for vid in self._controller.loaded_ids():
+                certificate = certify_classifier(self.pipeline, vid=vid)
+                report.merge(certificate.to_report())
+        return report
 
     # -- system module ----------------------------------------------------------
 
@@ -345,7 +357,8 @@ class Switch:
                enable_cache: bool = True, scheduled: bool = True,
                line_rate_bps: Optional[float] = None,
                egress_queue_capacity: Optional[int] = None,
-               enable_classifier: Optional[bool] = None) -> BatchEngine:
+               enable_classifier: Optional[bool] = None,
+               check_compiled: Optional[str] = None) -> BatchEngine:
         """A batched execution engine over this switch's pipeline.
 
         Engines obtained here are registered with the switch, so every
@@ -358,6 +371,10 @@ class Switch:
         ``enable_classifier`` controls the compiled-classification level
         of the engine's hot path (flow cache v2); ``None`` defers to the
         ``REPRO_ENGINE_CLASSIFIER`` environment variable (default on).
+        ``check_compiled`` (``"enforce"`` / ``"warn"`` / ``"off"``)
+        certifies every classifier rebuild against the installed tables
+        (:mod:`repro.analysis.equiv`); ``None`` defers to
+        ``REPRO_ENGINE_CERTIFY`` (default off).
 
         By default (``scheduled=True``) the switch's egress is routed
         through a weighted-fair :class:`~repro.engine.scheduler.
@@ -375,7 +392,8 @@ class Switch:
                 queue_capacity=egress_queue_capacity)
         engine = BatchEngine(self.pipeline, cache_capacity=cache_capacity,
                              enable_cache=enable_cache,
-                             enable_classifier=enable_classifier)
+                             enable_classifier=enable_classifier,
+                             check_compiled=check_compiled)
         self._engines.append(engine)
         return engine
 

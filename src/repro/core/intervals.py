@@ -1,0 +1,72 @@
+"""Shared integer-interval utilities.
+
+Two conventions coexist in the codebase and both live here, explicitly
+named so call sites cannot mix them up:
+
+* :func:`overlap` works on **half-open** ``[lo, hi)`` ranges — the
+  natural shape for row/byte ranges (CAM partitions, deparse spans);
+* :func:`subtract` and :func:`merge` work on **closed** ``[lo, hi]``
+  intervals over a discrete domain — the shape the compiled
+  classifier's interval arrays use, where ``hi`` is the largest key
+  still inside the interval and adjacent intervals (``lo == last_hi +
+  1``) coalesce.
+
+Used by :mod:`repro.engine.classifier` (priority resolution by
+claimed-interval subtraction), :mod:`repro.analysis.passes`
+(partition-disjointness proofs), and :mod:`repro.analysis.equiv`
+(independent re-derivation of classifier coverage).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+Interval = Tuple[int, int]
+
+
+def overlap(a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> bool:
+    """True when half-open ``[a_lo, a_hi)`` and ``[b_lo, b_hi)`` intersect."""
+    return a_lo < b_hi and b_lo < a_hi
+
+
+def subtract(interval: Interval,
+             claimed: List[Interval]) -> List[Interval]:
+    """Closed ``interval`` minus the union of ``claimed``.
+
+    ``claimed`` must be sorted and disjoint (the invariant
+    :func:`merge` maintains). Returns the surviving pieces in
+    ascending order; pieces are themselves disjoint and contained in
+    ``interval``.
+    """
+    lo, hi = interval
+    pieces: List[Interval] = []
+    for c_lo, c_hi in claimed:
+        if c_hi < lo or c_lo > hi:
+            continue
+        if c_lo > lo:
+            pieces.append((lo, c_lo - 1))
+        lo = max(lo, c_hi + 1)
+        if lo > hi:
+            break
+    if lo <= hi:
+        pieces.append((lo, hi))
+    return pieces
+
+
+def merge(claimed: List[Interval], interval: Interval) -> None:
+    """Insert closed ``interval`` into the sorted disjoint list, in
+    place, coalescing adjacent (``lo == last_hi + 1``) and overlapping
+    intervals."""
+    claimed.append(interval)
+    claimed.sort()
+    merged = [claimed[0]]
+    for lo, hi in claimed[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi + 1:
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    claimed[:] = merged
+
+
+__all__ = ["Interval", "overlap", "subtract", "merge"]

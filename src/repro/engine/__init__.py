@@ -27,7 +27,14 @@ Quick start::
     print(engine.counters.hit_rate)
 """
 
-from .batch import BatchEngine, EngineCounters, EngineTenantCounters
+from .batch import (
+    CERTIFY_MODES,
+    FALLBACK_REASONS,
+    BatchEngine,
+    EngineCounters,
+    EngineTenantCounters,
+    certify_default_mode,
+)
 from .classifier import (
     ClassifierStats,
     CompiledClassifier,
@@ -44,6 +51,9 @@ from .scheduler import (
 
 __all__ = [
     "BatchEngine",
+    "CERTIFY_MODES",
+    "FALLBACK_REASONS",
+    "certify_default_mode",
     "EngineCounters",
     "EngineTenantCounters",
     "ClassifierStats",

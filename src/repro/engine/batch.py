@@ -28,6 +28,14 @@ per-packet costs:
   interpreted pipeline entirely, so cache-hostile traffic no longer
   degrades to the scalar walk. Classifiers are rebuilt lazily when the
   epoch moves and purged by :meth:`invalidate` alongside the shards.
+* **Certification (``check_compiled``).** Every lazy classifier rebuild
+  can be statically certified equivalent to the installed tables by
+  :func:`repro.analysis.equiv.certify_classifier` — ``enforce`` refuses
+  an uncertified compiled path (packets take the scalar oracle, counted
+  under the ``uncertified`` fallback reason), ``warn`` emits an
+  :class:`~repro.analysis.verify.AnalysisWarning`, ``off`` (default)
+  skips the check. The mode defaults from ``REPRO_ENGINE_CERTIFY``;
+  certificates are kept in :attr:`BatchEngine.certificates` per VID.
 * **Stateful bypass.** A packet whose execution touches stateful memory
   is never memoized, and its module stops probing the cache until the
   next reconfiguration (state-carrying modules like NetCache/NetChain
@@ -76,8 +84,9 @@ guaranteed.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..core.pipeline import MenshenPipeline
 from ..net.packet import Packet
@@ -89,6 +98,42 @@ from .classifier import (
     compile_classifier,
 )
 from .flow_cache import FlowCache, FlowCacheStats, FlowEntry
+
+if TYPE_CHECKING:  # pragma: no cover — type-only; engine never imports
+    from ..analysis.equiv import Certificate  # analysis eagerly
+
+#: Certification modes for ``BatchEngine(check_compiled=...)``,
+#: strictest first (mirrors the admission gate's VERIFY_MODES).
+CERTIFY_MODES = ("enforce", "warn", "off")
+
+#: Every reason the classifier level can hand a packet back to the
+#: scalar oracle (the keys of ``EngineCounters.classifier_fallbacks``).
+FALLBACK_REASONS = ("stateful", "unsupported-action", "uncompilable",
+                    "parse-window", "uncertified")
+
+
+def certify_default_mode() -> str:
+    """Default for ``BatchEngine(check_compiled=None)``.
+
+    The ``REPRO_ENGINE_CERTIFY`` environment variable selects the
+    certification mode for compiled classifiers: ``enforce`` (also
+    ``on``/``1``/``true``/``yes``) certifies on every lazy rebuild and
+    refuses the compiled path on a violated certificate; ``warn``
+    certifies but only emits an ``AnalysisWarning``; unset or
+    ``off``/``0``/``false``/``no`` skips certification entirely.
+    """
+    value = os.environ.get("REPRO_ENGINE_CERTIFY")
+    if value is None:
+        return "off"
+    normalized = value.strip().lower()
+    if normalized in ("", "0", "off", "false", "no"):
+        return "off"
+    if normalized in ("1", "on", "true", "yes", "enforce"):
+        return "enforce"
+    if normalized == "warn":
+        return "warn"
+    raise ValueError(
+        f"REPRO_ENGINE_CERTIFY={value!r} is not one of {CERTIFY_MODES}")
 
 
 def classifier_default_enabled() -> bool:
@@ -189,7 +234,18 @@ class BatchEngine:
     def __init__(self, pipeline: MenshenPipeline,
                  cache_capacity: int = 4096,
                  enable_cache: bool = True,
-                 enable_classifier: Optional[bool] = None):
+                 enable_classifier: Optional[bool] = None,
+                 check_compiled: Optional[str] = None):
+        """``check_compiled`` selects the certification mode for the
+        compiled-classification level: every lazy rebuild is certified
+        against the installed tables by
+        :func:`repro.analysis.equiv.certify_classifier`. ``enforce``
+        refuses the compiled path on a violated certificate (packets
+        fall back to the scalar oracle, counted under ``uncertified``);
+        ``warn`` emits an ``AnalysisWarning`` instead; ``off`` (the
+        default) skips certification. ``None`` defers to the
+        ``REPRO_ENGINE_CERTIFY`` environment variable.
+        """
         if not isinstance(pipeline, MenshenPipeline):
             raise TypeError(
                 f"BatchEngine drives a MenshenPipeline, got "
@@ -200,7 +256,16 @@ class BatchEngine:
         if enable_classifier is None:
             enable_classifier = classifier_default_enabled()
         self.enable_classifier = enable_classifier
+        if check_compiled is None:
+            check_compiled = certify_default_mode()
+        if check_compiled not in CERTIFY_MODES:
+            raise ValueError(
+                f"unknown check_compiled mode {check_compiled!r}; "
+                f"expected one of {CERTIFY_MODES}")
+        self.check_compiled = check_compiled
         self.counters = EngineCounters()
+        self.certificates: Dict[int, "Certificate"] = {}
+        self._refused: Dict[int, bool] = {}
         self._shards: Dict[int, FlowCache] = {}
         self._layouts: Dict[int, _ModuleLayout] = {}
         self._classifiers: Dict[int, CompiledClassifier] = {}
@@ -237,11 +302,15 @@ class BatchEngine:
                 flushed += cache.clear()
             self._layouts.clear()
             self._classifiers.clear()
+            self.certificates.clear()
+            self._refused.clear()
         else:
             if vid in self._shards:
                 flushed = self._shards[vid].clear()
             self._layouts.pop(vid, None)
             self._classifiers.pop(vid, None)
+            self.certificates.pop(vid, None)
+            self._refused.pop(vid, None)
         self.counters.invalidation_calls += 1
         self.counters.invalidations += flushed
         return flushed
@@ -256,7 +325,30 @@ class BatchEngine:
             clf = compile_classifier(self.pipeline, vid, epoch)
             self._classifiers[vid] = clf
             self.counters.compile_rebuilds += 1
+            if self.check_compiled != "off":
+                self._certify(vid, clf)
         return clf
+
+    def _certify(self, vid: int, clf: CompiledClassifier) -> None:
+        # Lazy import: the engine must stay importable without dragging
+        # the analysis layer in — only certifying engines pay for it.
+        from ..analysis.equiv import certify_classifier
+
+        certificate = certify_classifier(self.pipeline, clf, vid=vid)
+        self.certificates[vid] = certificate
+        if certificate.ok:
+            self._refused.pop(vid, None)
+            return
+        if self.check_compiled == "enforce":
+            self._refused[vid] = True
+        elif self.check_compiled == "warn":
+            from ..analysis.verify import AnalysisWarning
+
+            warnings.warn(
+                AnalysisWarning(
+                    f"compiled classifier for vid {vid} failed "
+                    f"certification:\n{certificate.render()}"),
+                stacklevel=3)
 
     def _count_fallback(self, reason: str) -> None:
         fallbacks = self.counters.classifier_fallbacks
@@ -390,7 +482,12 @@ class BatchEngine:
         if self.enable_classifier:
             if fits_window:
                 clf = self._classifier(vid, epoch)
-                if clf.ok:
+                if self._refused.get(vid):
+                    # Certification (enforce mode) found the compiled
+                    # artifact inequivalent: refuse the compiled path
+                    # entirely and let the scalar oracle serve.
+                    self._count_fallback("uncertified")
+                elif clf.ok:
                     outcome = clf.classify(packet, slot)
                     if type(outcome) is Fallback:
                         self._count_fallback(outcome.reason)

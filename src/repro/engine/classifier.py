@@ -55,6 +55,8 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..core.intervals import merge as _merge_claim
+from ..core.intervals import subtract as _subtract
 from ..core.pipeline import SYSTEM_MODULE_ID, MenshenPipeline
 from ..net.packet import Packet
 from ..rmt.action import AluOp, VliwInstruction
@@ -218,39 +220,6 @@ def _compact(key: int, segments: Tuple[Tuple[int, int, int], ...]) -> int:
     for shift, run_mask, out_shift in segments:
         out |= ((key >> shift) & run_mask) << out_shift
     return out
-
-
-def _subtract(interval: Tuple[int, int],
-              claimed: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
-    """``interval`` minus the union of ``claimed`` (sorted, disjoint)."""
-    lo, hi = interval
-    pieces = []
-    for c_lo, c_hi in claimed:
-        if c_hi < lo or c_lo > hi:
-            continue
-        if c_lo > lo:
-            pieces.append((lo, c_lo - 1))
-        lo = max(lo, c_hi + 1)
-        if lo > hi:
-            break
-    if lo <= hi:
-        pieces.append((lo, hi))
-    return pieces
-
-
-def _merge_claim(claimed: List[Tuple[int, int]],
-                 interval: Tuple[int, int]) -> None:
-    """Insert ``interval`` into the sorted disjoint claim list, merging."""
-    claimed.append(interval)
-    claimed.sort()
-    merged = [claimed[0]]
-    for lo, hi in claimed[1:]:
-        last_lo, last_hi = merged[-1]
-        if lo <= last_hi + 1:
-            merged[-1] = (last_lo, max(last_hi, hi))
-        else:
-            merged.append((lo, hi))
-    claimed[:] = merged
 
 
 class CompiledClassifier:

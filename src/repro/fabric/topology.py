@@ -102,7 +102,9 @@ class FabricSwitch:
     @property
     def scheduler(self) -> EgressScheduler:
         scheduler = self.switch.egress_scheduler
-        assert scheduler is not None  # engine() above installed it
+        if scheduler is None:  # engine() above installed it
+            raise TopologyError(
+                f"switch {self.name!r} has no egress scheduler installed")
         return scheduler
 
     @property

@@ -275,7 +275,8 @@ class FabricTimelineExperiment:
         # so the event cascade drains all queues before the heap
         # empties. Verify rather than trust.
         backlog = core.total_backlog()
-        assert backlog == 0, f"{backlog} packets never departed"
+        if backlog:
+            raise RuntimeError(f"{backlog} packets never departed")
 
         elapsed = max(self.duration_s, sim.now)
         num_bins = max(1, -int(-elapsed // self.bin_s))  # ceil

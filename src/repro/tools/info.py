@@ -13,8 +13,35 @@ import dataclasses
 import json
 import sys
 
-from ..engine.batch import EngineCounters, EngineTenantCounters
+from ..engine.batch import (
+    CERTIFY_MODES,
+    FALLBACK_REASONS,
+    EngineCounters,
+    EngineTenantCounters,
+)
 from ..rmt.params import CORUNDUM_PARAMS, DEFAULT_PARAMS, NETFPGA_PARAMS
+
+
+def _analysis_info() -> dict:
+    """The static-analysis surface: pass names, lint rules, and the
+    classifier certifier's obligation catalog — introspected from
+    :mod:`repro.analysis` so this section can never drift from it.
+    """
+    from ..analysis import CONFIG_PASSES, MODULE_PASSES
+    from ..analysis.equiv import CERTIFICATE_SCHEMA_VERSION, OBLIGATIONS
+    from ..analysis.lint import RULES
+
+    return {
+        "module_passes": [p.name for p in MODULE_PASSES],
+        "config_passes": [p.name for p in CONFIG_PASSES],
+        "lint_rules": list(RULES),
+        "certifier": {
+            "obligations": list(OBLIGATIONS),
+            "certificate_schema_version": CERTIFICATE_SCHEMA_VERSION,
+            "modes": list(CERTIFY_MODES),
+            "env_var": "REPRO_ENGINE_CERTIFY",
+        },
+    }
 
 
 def _engine_info() -> dict:
@@ -42,8 +69,7 @@ def _engine_info() -> dict:
                      if f.name not in scalar],
         "tenant_counters": [f.name for f in
                             dataclasses.fields(EngineTenantCounters)],
-        "fallback_reasons": ["stateful", "unsupported-action",
-                             "uncompilable", "parse-window"],
+        "fallback_reasons": list(FALLBACK_REASONS),
         "counter_units": {
             "invalidations": "flushed cache entries",
             "invalidation_calls": "invalidate() calls",
@@ -55,6 +81,7 @@ def info_dict() -> dict:
     """The Table-5 parameters and table inventory, as plain data."""
     p = DEFAULT_PARAMS
     return {
+        "analysis": _analysis_info(),
         "engine": _engine_info(),
         "params": {
             "containers_per_type": p.containers_per_type,

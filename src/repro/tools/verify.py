@@ -7,7 +7,11 @@ Runs the :mod:`repro.analysis` verifier passes over tenant programs:
 * ``--all-builtins``: every stock evaluated module (the CI smoke);
 * ``--switch-demo``: loads the given programs onto one simulated
   switch behind the admission gate and re-proves the loaded config —
-  an end-to-end exercise of the same passes the controller runs.
+  an end-to-end exercise of the same passes the controller runs;
+* ``--classifier``: additionally installs each program on a fresh
+  switch and certifies its compiled classifier equivalent to the
+  installed tables (:mod:`repro.analysis.equiv`) — zero traffic; with
+  ``--json`` the full certificates ride along under ``certificates``.
 
 Exit status is 0 when every report is free of ERROR findings, 1
 otherwise (2 for usage/IO problems). ``--json`` emits the shared
@@ -20,10 +24,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import AnalysisReport, analyze_source, analyze_switch
 from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover — type-only
+    from ..analysis.equiv import Certificate
 
 
 def _load_sources(args: argparse.Namespace) -> List[Tuple[str, str]]:
@@ -54,6 +61,18 @@ def _verify_switch_demo(sources: Sequence[Tuple[str, str]]
     return "switch", analyze_switch(switch.controller)
 
 
+def _certify_source(name: str, source: str) -> "Certificate":
+    """Install one program on a fresh switch and certify its compiled
+    classifier against the installed tables (no traffic)."""
+    from ..analysis.equiv import certify_classifier
+    from ..api import Switch
+
+    switch = Switch.build().create()
+    switch.install_system()
+    switch.admit(name, source, vid=1)
+    return certify_classifier(switch.pipeline, vid=1)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-verify",
@@ -68,6 +87,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--switch-demo", action="store_true",
                         help="also admit the programs onto one simulated "
                              "switch and verify the loaded config")
+    parser.add_argument("--classifier", action="store_true",
+                        help="also certify each program's compiled "
+                             "classifier equivalent to its installed "
+                             "tables (static, zero traffic)")
     parser.add_argument("--grant-match", type=int, default=None,
                         metavar="N", help="granted CAM-row allowance")
     parser.add_argument("--grant-stateful", type=int, default=None,
@@ -99,6 +122,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ReproError as exc:
             print(f"error: switch demo failed: {exc}", file=sys.stderr)
             return 1
+    certificates: Dict[str, "Certificate"] = {}
+    if args.classifier:
+        for name, source in sources:
+            try:
+                certificate = _certify_source(name, source)
+            except ReproError as exc:
+                print(f"error: classifier certification of {name} "
+                      f"failed: {exc}", file=sys.stderr)
+                return 1
+            certificates[name] = certificate
+            reports.append((f"{name}:classifier", certificate.to_report()))
 
     failed = False
     for name, report in reports:
@@ -108,8 +142,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         payload: Dict[str, List[dict]] = {
             name: [f.to_dict() for f in report.findings]
             for name, report in reports}
-        print(json.dumps({"ok": not failed, "reports": payload},
-                         indent=2, sort_keys=True))
+        result: Dict[str, object] = {"ok": not failed, "reports": payload}
+        if certificates:
+            result["certificates"] = {
+                name: certificate.to_dict()
+                for name, certificate in certificates.items()}
+        print(json.dumps(result, indent=2, sort_keys=True))
     else:
         for name, report in reports:
             print(report.render(title=name))

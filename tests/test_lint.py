@@ -195,6 +195,39 @@ class TestPragmas:
         assert pragmas[2] is None
 
 
+class TestBareAssert:
+    def test_assert_flagged(self):
+        assert codes("""
+            def admit(n):
+                assert n > 0
+                return n
+            """) == ["bare-assert"]
+
+    def test_assert_with_message_still_flagged(self):
+        # The message does not survive python -O either.
+        assert codes("""
+            def admit(n):
+                assert n > 0, "n must be positive"
+            """) == ["bare-assert"]
+
+    def test_module_level_assert_flagged(self):
+        assert codes("assert True\n") == ["bare-assert"]
+
+    def test_raise_not_flagged(self):
+        assert codes("""
+            def admit(n):
+                if n <= 0:
+                    raise ValueError(n)
+                return n
+            """) == []
+
+    def test_pragma_suppresses(self):
+        assert codes("""
+            def f(n):
+                assert n  # repro-lint: disable=bare-assert
+            """) == []
+
+
 class TestDriver:
     def test_unknown_rule_rejected(self):
         with pytest.raises(ValueError, match="unknown lint rule"):
@@ -248,4 +281,4 @@ class TestRepoIsClean:
 
     def test_all_rules_documented_in_rules_tuple(self):
         assert RULES == ("mutable-global", "unseeded-random",
-                         "wall-clock", "set-iteration")
+                         "wall-clock", "set-iteration", "bare-assert")

@@ -48,12 +48,38 @@ def test_json_engine_section(capsys):
         {f.name for f in dataclasses.fields(EngineTenantCounters)}
 
     assert set(engine["fallback_reasons"]) == \
-        {"stateful", "unsupported-action", "uncompilable", "parse-window"}
+        {"stateful", "unsupported-action", "uncompilable", "parse-window",
+         "uncertified"}
     # The satellite-1 unit fix is part of the documented schema.
     assert engine["counter_units"]["invalidations"] == \
         "flushed cache entries"
     assert engine["counter_units"]["invalidation_calls"] == \
         "invalidate() calls"
+
+
+def test_json_analysis_section(capsys):
+    """The analysis section mirrors the live pass/rule/obligation
+    registries, so downstream tooling can discover them without
+    importing the library."""
+    from repro.analysis import CONFIG_PASSES, MODULE_PASSES
+    from repro.analysis.equiv import CERTIFICATE_SCHEMA_VERSION, OBLIGATIONS
+    from repro.analysis.lint import RULES
+    from repro.engine.batch import CERTIFY_MODES
+
+    assert main(["--json"]) == 0
+    analysis = json.loads(capsys.readouterr().out)["analysis"]
+
+    assert analysis["module_passes"] == [p.name for p in MODULE_PASSES]
+    assert analysis["config_passes"] == [p.name for p in CONFIG_PASSES]
+    assert analysis["lint_rules"] == list(RULES)
+    assert "bare-assert" in analysis["lint_rules"]
+
+    certifier = analysis["certifier"]
+    assert certifier["obligations"] == list(OBLIGATIONS)
+    assert certifier["certificate_schema_version"] == \
+        CERTIFICATE_SCHEMA_VERSION
+    assert certifier["modes"] == list(CERTIFY_MODES)
+    assert certifier["env_var"] == "REPRO_ENGINE_CERTIFY"
 
 
 def test_json_matches_info_dict(capsys):
