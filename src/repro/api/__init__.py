@@ -36,6 +36,14 @@ from ..errors import (
     TenantIsolationError,
     TransactionError,
 )
+from ..chaos import (
+    ChaosController,
+    ChaosEvent,
+    ChaosSchedule,
+    PostMortemReport,
+    RecoveryController,
+    ReplacedTenant,
+)
 from ..engine import BatchEngine, EgressScheduler, EngineCounters
 from ..exec import ExecutionCore, ExecutionSink, LostRecord
 from ..rmt.entry_types import ActionCall, Exact, Match, TableEntry, Ternary
@@ -87,6 +95,13 @@ __all__ = [
     "ExecutionCore",
     "ExecutionSink",
     "LostRecord",
+    # chaos & recovery
+    "ChaosEvent",
+    "ChaosSchedule",
+    "ChaosController",
+    "RecoveryController",
+    "PostMortemReport",
+    "ReplacedTenant",
     # errors
     "TenantIsolationError",
     "TransactionError",

@@ -767,6 +767,14 @@ class RegisterHandle:
         self._tenant = tenant
         self.name = name
 
+    @property
+    def size(self) -> int:
+        """Words in this register (valid addresses are
+        ``0..size-1``) — what a full state snapshot iterates
+        (:meth:`repro.chaos.RecoveryController` carries registers
+        across a re-placement this way)."""
+        return self._tenant._loaded().compiled.registers[self.name].size
+
     def read(self, addr: int = 0) -> int:
         return self._tenant._controller.register_read(
             self._tenant.vid, self.name, addr)

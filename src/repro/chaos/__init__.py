@@ -1,0 +1,43 @@
+"""``repro.chaos`` — deterministic failure injection and recovery.
+
+The failure counterpart of :mod:`repro.traffic`'s churn layer: a
+:class:`ChaosSchedule` describes *which links and switches* die and
+come back when (link flaps, switch crashes, restores) as a
+deterministic, fabric-agnostic event stream; a
+:class:`ChaosController` fires it inside a running
+:class:`~repro.sim.fabric_timeline.FabricTimelineExperiment` the same
+way churn events bind; a :class:`RecoveryController` sweeps for
+tenants stranded by dead capacity and re-places them onto surviving
+routes (draining stale queues, carrying stateful-module registers);
+and a :class:`PostMortemReport` accounts for every lost packet on the
+unified :class:`~repro.exec.records.LostRecord` path — per-event
+victim sets, losses by link, recovery latency, tenants re-placed.
+
+``benchmarks/bench_fabric_chaos.py`` gates the end-to-end story:
+during a scheduled spine crash, victims lose only the packets in
+flight on the dead links, stranded tenants are re-placed and recover
+to their steady share, and untouched tenants never deviate.
+"""
+
+from .controller import ChaosController
+from .postmortem import (
+    ChaosEventReport,
+    PostMortemReport,
+    ReplacedTenant,
+    build_post_mortem,
+)
+from .recovery import RecoveryController
+from .schedule import CHAOS_KINDS, FAULT_KINDS, ChaosEvent, ChaosSchedule
+
+__all__ = [
+    "CHAOS_KINDS",
+    "FAULT_KINDS",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "ChaosController",
+    "RecoveryController",
+    "ChaosEventReport",
+    "PostMortemReport",
+    "ReplacedTenant",
+    "build_post_mortem",
+]

@@ -1,0 +1,219 @@
+"""Typed post-mortems: what each fault cost, and who was re-placed.
+
+A :class:`PostMortemReport` is built after a chaos run from three
+deterministic streams — the fired :class:`~repro.chaos.schedule.
+ChaosEvent` list (with the link names each fault took down), the
+timestamped loss log the execution sink kept (every entry already on
+the unified :class:`~repro.exec.records.LostRecord` path), and the
+:class:`ReplacedTenant` records the recovery controller produced. Each
+loss is attributed to the *latest* fault that had downed its link at
+the loss instant; a crash owns its attached links plus the
+``switch:<name>`` pseudo-link its scrubbed queues and in-flight
+arrivals are charged to. Anything no fault explains lands in
+``unattributed`` — loudly, never dropped on the floor.
+
+Reports are plain frozen dataclasses over sorted tuples, so two runs
+with identical seeds produce ``==``-equal reports, and
+:meth:`PostMortemReport.to_json` / :meth:`~PostMortemReport.from_json`
+round-trip exactly (``tests/test_chaos.py`` holds both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..exec.records import LostRecord, summarize_lost
+from .schedule import ChaosEvent
+
+
+@dataclass(frozen=True, order=True)
+class ReplacedTenant:
+    """One stranded tenant's recovery outcome."""
+
+    vid: int
+    name: str
+    #: the route the fault stranded
+    old_route: Tuple[str, ...]
+    #: the surviving route it was re-placed onto (empty on failure)
+    new_route: Tuple[str, ...]
+    fault_at_s: float
+    detected_at_s: float
+    completed_at_s: float
+    #: stale queued packets drained (purged) off the dead route
+    drained: int
+    #: ``(donor, heir)`` register-state carries across the move
+    carried: Tuple[Tuple[str, str], ...]
+    #: old-route switches whose register state was unreadable (crashed)
+    state_lost: Tuple[str, ...]
+    recovered: bool
+    reason: str = ""
+
+    @property
+    def recovery_latency_s(self) -> float:
+        """Fault instant to re-placement complete."""
+        return self.completed_at_s - self.fault_at_s
+
+
+@dataclass(frozen=True)
+class ChaosEventReport:
+    """One fired chaos event with everything attributed to it."""
+
+    event: ChaosEvent
+    #: link names this event took down (crashes add ``switch:<name>``)
+    affected: Tuple[str, ...]
+    #: VIDs that lost packets to it or were re-placed because of it
+    victims: Tuple[int, ...]
+    lost: Tuple[LostRecord, ...]
+    replaced: Tuple[ReplacedTenant, ...]
+
+    @property
+    def packets_lost(self) -> int:
+        return sum(record.count for record in self.lost)
+
+
+@dataclass(frozen=True)
+class PostMortemReport:
+    """The full accounting of one chaos run."""
+
+    elapsed_s: float
+    events: Tuple[ChaosEventReport, ...]
+    #: losses no fired fault explains (empty in a healthy run)
+    unattributed: Tuple[LostRecord, ...]
+
+    def total_lost(self) -> int:
+        return (sum(e.packets_lost for e in self.events)
+                + sum(r.count for r in self.unattributed))
+
+    def lost_by_link(self) -> Dict[str, int]:
+        """Packets lost per link, across every event — directly
+        comparable with a timeline result's ``lost_by_link``."""
+        out: Dict[str, int] = {}
+        for report in self.events:
+            for record in report.lost:
+                out[record.link] = out.get(record.link, 0) + record.count
+        for record in self.unattributed:
+            out[record.link] = out.get(record.link, 0) + record.count
+        return out
+
+    def replaced(self) -> List[ReplacedTenant]:
+        """Every recovery action, in (event, vid) order."""
+        return [r for report in self.events for r in report.replaced]
+
+    def victims(self) -> List[int]:
+        """Every VID any event hurt, ascending."""
+        return sorted({vid for report in self.events
+                       for vid in report.victims})
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_json(self) -> Dict:
+        """A plain-JSON dict (lists and scalars only)."""
+        return {
+            "elapsed_s": self.elapsed_s,
+            "events": [{
+                "event": {"time_s": r.event.time_s, "kind": r.event.kind,
+                          "target": list(r.event.target)},
+                "affected": list(r.affected),
+                "victims": list(r.victims),
+                "lost": [{"vid": rec.vid, "link": rec.link,
+                          "count": rec.count} for rec in r.lost],
+                "replaced": [{
+                    "vid": rep.vid, "name": rep.name,
+                    "old_route": list(rep.old_route),
+                    "new_route": list(rep.new_route),
+                    "fault_at_s": rep.fault_at_s,
+                    "detected_at_s": rep.detected_at_s,
+                    "completed_at_s": rep.completed_at_s,
+                    "drained": rep.drained,
+                    "carried": [list(pair) for pair in rep.carried],
+                    "state_lost": list(rep.state_lost),
+                    "recovered": rep.recovered,
+                    "reason": rep.reason,
+                } for rep in r.replaced],
+            } for r in self.events],
+            "unattributed": [{"vid": rec.vid, "link": rec.link,
+                              "count": rec.count}
+                             for rec in self.unattributed],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "PostMortemReport":
+        """Rebuild a report ``==``-equal to the one serialized."""
+        def record(raw: Mapping) -> LostRecord:
+            return LostRecord(vid=raw["vid"], link=raw["link"],
+                              count=raw["count"])
+
+        def replaced(raw: Mapping) -> ReplacedTenant:
+            return ReplacedTenant(
+                vid=raw["vid"], name=raw["name"],
+                old_route=tuple(raw["old_route"]),
+                new_route=tuple(raw["new_route"]),
+                fault_at_s=raw["fault_at_s"],
+                detected_at_s=raw["detected_at_s"],
+                completed_at_s=raw["completed_at_s"],
+                drained=raw["drained"],
+                carried=tuple(tuple(pair) for pair in raw["carried"]),
+                state_lost=tuple(raw["state_lost"]),
+                recovered=raw["recovered"], reason=raw["reason"])
+
+        return cls(
+            elapsed_s=data["elapsed_s"],
+            events=tuple(
+                ChaosEventReport(
+                    event=ChaosEvent(
+                        time_s=raw["event"]["time_s"],
+                        kind=raw["event"]["kind"],
+                        target=tuple(raw["event"]["target"])),
+                    affected=tuple(raw["affected"]),
+                    victims=tuple(raw["victims"]),
+                    lost=tuple(record(r) for r in raw["lost"]),
+                    replaced=tuple(replaced(r) for r in raw["replaced"]))
+                for raw in data["events"]),
+            unattributed=tuple(record(r)
+                               for r in data["unattributed"]))
+
+
+def build_post_mortem(
+        fired: Sequence[Tuple[ChaosEvent, Tuple[str, ...]]],
+        replacements: Mapping[ChaosEvent, Sequence[ReplacedTenant]],
+        losses: Sequence[Tuple[float, int, str]],
+        elapsed_s: float) -> PostMortemReport:
+    """Attribute a run's loss log to its fired faults.
+
+    ``fired`` is the controller's ``(event, affected link names)`` log
+    in firing order; ``losses`` are the sink's timestamped
+    ``(time, vid, link)`` entries. Each loss goes to the **latest**
+    fault that had downed its link at or before the loss instant —
+    later flaps of the same link claim their own losses, earlier ones
+    keep theirs — and losses on links no fault touched become
+    ``unattributed``.
+    """
+    by_event: Dict[int, List[Tuple[int, str]]] = {}
+    unattributed: List[Tuple[int, str]] = []
+    faults = [(idx, event, set(affected))
+              for idx, (event, affected) in enumerate(fired)
+              if event.is_fault]
+    for time, vid, link in losses:
+        owner = None
+        for idx, event, affected in faults:
+            if link in affected and event.time_s <= time + 1e-12:
+                if owner is None or (event.time_s, idx) > owner[:2]:
+                    owner = (event.time_s, idx)
+        if owner is None:
+            unattributed.append((vid, link))
+        else:
+            by_event.setdefault(owner[1], []).append((vid, link))
+    reports = []
+    for idx, (event, affected) in enumerate(fired):
+        lost = summarize_lost(by_event.get(idx, []))
+        replaced = tuple(sorted(replacements.get(event, ())))
+        victims = sorted({rec.vid for rec in lost}
+                         | {rep.vid for rep in replaced})
+        reports.append(ChaosEventReport(
+            event=event, affected=tuple(affected),
+            victims=tuple(victims), lost=tuple(lost),
+            replaced=replaced))
+    return PostMortemReport(
+        elapsed_s=elapsed_s, events=tuple(reports),
+        unattributed=tuple(summarize_lost(unattributed)))

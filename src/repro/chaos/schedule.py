@@ -1,0 +1,206 @@
+"""Deterministic fault schedules: link flaps, switch crashes, restores.
+
+A :class:`ChaosSchedule` is the failure analogue of a
+:class:`~repro.traffic.churn.ChurnSchedule`: where churn says *which
+tenants* arrive, update, and depart when, chaos says *which links and
+switches* die and come back when. Like every workload description in
+this codebase it is deterministic and fabric-agnostic — events name
+links by their endpoint switches and switches by name, and the binding
+to actual fabric mutations (``Fabric.set_link_state`` /
+``crash_switch`` / ``restore_switch``) happens where the fabric is in
+scope: :class:`repro.chaos.controller.ChaosController` arms a schedule
+on a running
+:class:`~repro.sim.fabric_timeline.FabricTimelineExperiment` via
+:meth:`~repro.sim.fabric_timeline.FabricTimelineExperiment.
+schedule_chaos`, exactly the way churn events bind.
+
+The :meth:`ChaosSchedule.random_flaps` generator draws from an
+explicit ``random.Random(seed)`` — identical seeds yield identical
+event streams (``tests/test_chaos.py`` holds this as a Hypothesis
+property), so a failure scenario replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+#: The fault verbs a chaos event may carry.
+CHAOS_KINDS = ("link-down", "link-up", "switch-crash", "switch-restore")
+
+#: Kinds that take something *down* — the ones a recovery sweep follows.
+FAULT_KINDS = ("link-down", "switch-crash")
+
+
+@dataclass(frozen=True, order=True)
+class ChaosEvent:
+    """One fault (or repair) at a virtual time.
+
+    ``target`` is the canonical name of what the event hits: the two
+    endpoint switches of a link, sorted (so ``("a", "b")`` and
+    ``("b", "a")`` describe the same link), or a single switch name.
+    Ordering is ``(time, kind, target)`` — total and deterministic.
+    """
+
+    time_s: float
+    kind: str
+    target: Tuple[str, ...]
+
+    @property
+    def link(self) -> Optional[Tuple[str, str]]:
+        """The ``(a, b)`` endpoints for link events, else ``None``."""
+        if self.kind in ("link-down", "link-up"):
+            return (self.target[0], self.target[1])
+        return None
+
+    @property
+    def switch(self) -> Optional[str]:
+        """The switch name for crash/restore events, else ``None``."""
+        if self.kind in ("switch-crash", "switch-restore"):
+            return self.target[0]
+        return None
+
+    @property
+    def is_fault(self) -> bool:
+        """True when the event takes capacity away (down/crash)."""
+        return self.kind in FAULT_KINDS
+
+    def describe(self) -> str:
+        return f"{self.kind} {'—'.join(self.target)} @ {self.time_s:g}s"
+
+
+class ChaosSchedule:
+    """A deterministic schedule of fault and repair events."""
+
+    def __init__(self) -> None:
+        self.events: List[ChaosEvent] = []
+
+    def add(self, kind: str, at_s: float,
+            link: Optional[Tuple[str, str]] = None,
+            switch: Optional[str] = None) -> ChaosEvent:
+        if kind not in CHAOS_KINDS:
+            raise ConfigError(
+                f"unknown chaos kind {kind!r} (one of {CHAOS_KINDS})")
+        if at_s < 0:
+            raise ConfigError(f"chaos time must be >= 0, got {at_s}")
+        if kind in ("link-down", "link-up"):
+            if link is None or switch is not None:
+                raise ConfigError(
+                    f"{kind} events target a link: pass link=(a, b)")
+            a, b = link
+            if a == b:
+                raise ConfigError(f"link target needs two distinct "
+                                  f"switches, got ({a!r}, {b!r})")
+            target: Tuple[str, ...] = tuple(sorted((a, b)))
+        else:
+            if switch is None or link is not None:
+                raise ConfigError(
+                    f"{kind} events target a switch: pass switch=name")
+            target = (switch,)
+        event = ChaosEvent(time_s=at_s, kind=kind, target=target)
+        self.events.append(event)
+        return event
+
+    # -- verb helpers -----------------------------------------------------------
+
+    def fail_link(self, a: str, b: str, at_s: float) -> ChaosEvent:
+        """The link between ``a`` and ``b`` goes down at ``at_s``."""
+        return self.add("link-down", at_s, link=(a, b))
+
+    def restore_link(self, a: str, b: str, at_s: float) -> ChaosEvent:
+        """The link between ``a`` and ``b`` comes back at ``at_s``."""
+        return self.add("link-up", at_s, link=(a, b))
+
+    def flap_link(self, a: str, b: str, down_at_s: float,
+                  up_at_s: float) -> Tuple[ChaosEvent, ChaosEvent]:
+        """One down/up flap of a link; ``up_at_s`` must follow the
+        down. Returns the ``(down, up)`` event pair."""
+        if up_at_s <= down_at_s:
+            raise ConfigError(
+                f"flap must come back up after it goes down: "
+                f"down at {down_at_s}, up at {up_at_s}")
+        return (self.fail_link(a, b, down_at_s),
+                self.restore_link(a, b, up_at_s))
+
+    def crash_switch(self, name: str, at_s: float) -> ChaosEvent:
+        """Switch ``name`` crashes (all its links die, queues scrub)."""
+        return self.add("switch-crash", at_s, switch=name)
+
+    def restore_switch(self, name: str, at_s: float) -> ChaosEvent:
+        """Switch ``name`` reboots (links to live neighbors rise)."""
+        return self.add("switch-restore", at_s, switch=name)
+
+    # -- queries ----------------------------------------------------------------
+
+    def sorted_events(self) -> List[ChaosEvent]:
+        """Events in firing order (time, then kind, then target)."""
+        return sorted(self.events)
+
+    def faults(self) -> List[ChaosEvent]:
+        """Only the events that take capacity away, in firing order —
+        the ones a recovery controller chases."""
+        return [e for e in self.sorted_events() if e.is_fault]
+
+    def targets(self) -> List[Tuple[str, ...]]:
+        """Every distinct target touched by any event, sorted — the
+        complement of the blast radius is what an isolation gate must
+        hold steady."""
+        return sorted({e.target for e in self.events})
+
+    def window(self, target: Tuple[str, ...]) -> Tuple[float, float]:
+        """The ``(first event, last event)`` span covering one target —
+        the bins a victim assertion should examine."""
+        times = [e.time_s for e in self.events if e.target == target]
+        if not times:
+            raise ConfigError(
+                f"no chaos events for target {target!r} "
+                f"(have: {self.targets()})")
+        return (min(times), max(times))
+
+    # -- generators -------------------------------------------------------------
+
+    @classmethod
+    def random_flaps(cls, links: Sequence[Tuple[str, str]], count: int,
+                     horizon_s: float, min_down_s: float,
+                     max_down_s: float, seed: int) -> "ChaosSchedule":
+        """``count`` link flaps drawn from an explicit seeded generator.
+
+        Each flap picks a link uniformly, a down instant uniform in
+        ``[0, horizon_s - max_down_s]``, and an outage duration uniform
+        in ``[min_down_s, max_down_s]``. Identical seeds yield
+        identical schedules — the Hypothesis determinism property in
+        ``tests/test_chaos.py``.
+        """
+        if not links:
+            raise ConfigError("random_flaps needs at least one link")
+        if count < 0:
+            raise ConfigError(f"flap count must be >= 0, got {count}")
+        if not 0 < min_down_s <= max_down_s:
+            raise ConfigError(
+                f"need 0 < min_down_s <= max_down_s, got "
+                f"{min_down_s}/{max_down_s}")
+        if horizon_s <= max_down_s:
+            raise ConfigError(
+                f"horizon {horizon_s}s leaves no room for a "
+                f"{max_down_s}s outage")
+        rng = random.Random(seed)
+        schedule = cls()
+        for _ in range(count):
+            a, b = links[rng.randrange(len(links))]
+            down_at = rng.uniform(0.0, horizon_s - max_down_s)
+            down_for = rng.uniform(min_down_s, max_down_s)
+            schedule.flap_link(a, b, down_at, down_at + down_for)
+        return schedule
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        kinds: Dict[str, int] = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        return (f"ChaosSchedule({len(self.events)} events: "
+                f"{', '.join(f'{k}={v}' for k, v in sorted(kinds.items()))})")

@@ -250,6 +250,39 @@ class EgressScheduler:
         self.per_tenant.pop(vid, None)
         return purged
 
+    def drop_queued(self) -> List[Tuple[int, int, Packet]]:
+        """Scrub every queued packet without transmitting — a crash,
+        not a service.
+
+        The data-plane reset behind :meth:`repro.fabric.topology.
+        Fabric.crash_switch`: queue contents, STFQ finish tags, per-port
+        arrival sequences, and throttle marks all clear, so a restored
+        switch cannot emit ghost departures for packets that died in
+        the crash. Configuration survives — weights, rate buckets, port
+        rates, and multicast groups are control-plane state a rebooted
+        switch gets re-pushed — and the drop/transmit counters are left
+        alone: crash losses are accounted by the caller on the unified
+        lost-record path, not as queue-capacity drops. Returns the
+        scrubbed ``(port, vid, packet)`` triples in (port, arrival)
+        order.
+        """
+        dropped: List[Tuple[int, int, Packet]] = []
+        for port, state in enumerate(self._ports):
+            entries = [(seq, vid, packet)
+                       for vid, fifo in state.fifos.items()
+                       for _rank, seq, packet in fifo]
+            entries.sort()
+            dropped.extend((port, vid, packet)
+                           for _seq, vid, packet in entries)
+            vids = sorted(state.fifos)
+            state.fifos.clear()
+            state.ranker._last_finish.clear()
+            state.seq = 0
+            for vid in vids:
+                self._feed_depth(vid)
+        self._throttle_marks.clear()
+        return dropped
+
     def rate_limit_of(self, vid: int) -> Optional[float]:
         bucket = self._buckets.get(vid)
         return bucket.rate if bucket is not None else None

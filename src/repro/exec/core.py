@@ -173,6 +173,36 @@ class ExecutionCore:
         return sum(member.scheduler.total_queued()
                    for member in self._members)
 
+    @staticmethod
+    def member_up(member) -> bool:
+        """Whether a member is serving (members without an ``up`` flag
+        — e.g. :class:`SwitchMember` — always are)."""
+        return bool(getattr(member, "up", True))
+
+    # -- fault accounting ---------------------------------------------------------
+
+    def report_fault_losses(self, member, dropped,
+                            time: float = 0.0) -> int:
+        """Report queue contents scrubbed by a fault through the sink's
+        lost path.
+
+        ``dropped`` is the ``(port, vid, packet)`` shape returned by
+        :meth:`repro.fabric.topology.Fabric.crash_switch` /
+        :meth:`~repro.engine.scheduler.EgressScheduler.drop_queued`.
+        Each packet is charged to the link its port faces — the wire it
+        was queued toward when the switch died — or to the pseudo-link
+        ``switch:<name>`` for host-port queues, so crash losses land on
+        the same typed :class:`~repro.exec.records.LostRecord` path as
+        downed-link losses and every post-mortem reconciles against the
+        same counters. Returns the number of packets reported.
+        """
+        for port, vid, packet in dropped:
+            link = member.links.get(port)
+            name = link.name if link is not None \
+                else f"switch:{member.name}"
+            self.sink.on_lost(member.name, port, vid, packet, name, time)
+        return len(dropped)
+
     # -- departure routing (shared by every policy) ------------------------------
 
     def route(self, member, port: int, packet: Packet, vid: int,
@@ -245,6 +275,15 @@ class ExecutionCore:
                 pkts = by_member.get(member.name)
                 if not pkts:
                     continue
+                if not self.member_up(member):
+                    # A crashed member serves nothing: arrivals die at
+                    # its pseudo-link, never silently.
+                    for pkt in pkts:
+                        self.sink.on_lost(
+                            member.name, pkt.ingress_port or 0,
+                            vid_of(pkt), pkt,
+                            f"switch:{member.name}", 0.0)
+                    continue
                 self._serve_batch(member, pkts)
                 # Drain every port in weighted-fair service order.
                 for port in range(member.num_ports):
@@ -309,7 +348,16 @@ class ExecutionCore:
     def inject(self, member, packet: Packet, t: float) -> None:
         """One packet arrives at a member at virtual time ``t``: serve
         transmissions that complete before the arrival, run the batched
-        engine, then (re)schedule the member's service events."""
+        engine, then (re)schedule the member's service events.
+
+        An arrival at a crashed member (the packet was in flight on the
+        wire when the far end died) is lost at the member's
+        ``switch:<name>`` pseudo-link — counted, never silently."""
+        if not self.member_up(member):
+            self.sink.on_lost(member.name, packet.ingress_port or 0,
+                              vid_of(packet), packet,
+                              f"switch:{member.name}", t)
+            return
         self.route_departures(member, member.scheduler.advance_to(t))
         self._serve_batch(member, [packet])
         self.schedule_services(member)

@@ -38,7 +38,7 @@ from ..analysis.passes import loop_findings
 from ..api.switch import Tenant, TenantCounters
 from ..errors import PlacementError
 from .placement import choose_path, validate_host_port
-from .topology import Fabric, PortRef
+from .topology import Fabric, Link, PortRef
 
 Installer = Callable[[Tenant, int], None]
 
@@ -331,7 +331,58 @@ class FabricTenant:
         """Switches hosting this tenant, in placement order."""
         return list(self._handles)
 
+    def egress_ports(self) -> Dict[str, int]:
+        """The egress port this tenant steers to on each placed switch
+        — the recovery layer reads it to find the wire a stranded
+        route's packets were queued toward."""
+        return dict(self._egress)
+
+    # -- fault surface (read by repro.chaos) -------------------------------------
+
+    def route_links(self, route: Optional[Sequence[str]] = None
+                    ) -> List[Link]:
+        """The fabric links one placed route crosses, in hop order,
+        resolved through the recorded egress steering (defaults to the
+        only placed route)."""
+        if route is None:
+            if len(self.routes) != 1:
+                raise PlacementError(
+                    f"tenant VID {self.vid}: route_links() needs "
+                    f"route= when {len(self.routes)} routes are placed")
+            route = self.routes[0]
+        links: List[Link] = []
+        for name in route[:-1]:
+            egress = self._egress.get(name)
+            if egress is None:
+                continue
+            link = self.fabric.switch(name).links.get(egress)
+            if link is not None:
+                links.append(link)
+        return links
+
+    def is_stranded(self) -> bool:
+        """True when any placed route crosses a down link or a crashed
+        switch — the detection predicate
+        :class:`repro.chaos.recovery.RecoveryController` sweeps with.
+        An unplaced tenant is never stranded."""
+        for route in self.routes:
+            if any(not self.fabric.switch(name).up for name in route):
+                return True
+            if any(not link.up for link in self.route_links(route)):
+                return True
+        return False
+
     # -- egress scheduling (fabric-wide fan-out) ---------------------------------
+
+    @property
+    def weight(self) -> Optional[float]:
+        """The fabric-wide fair-share weight, if one was ever set."""
+        return self._weight
+
+    @property
+    def rate_limit(self) -> Optional[Tuple[float, Optional[float]]]:
+        """The fabric-wide ``(rate, burst)`` cap, if one was ever set."""
+        return self._rate
 
     def set_weight(self, weight: float) -> "FabricTenant":
         """Weighted-fair share on every port of every placed switch."""

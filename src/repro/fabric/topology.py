@@ -30,6 +30,7 @@ from ..core.stats import PipelineStats
 from ..engine.batch import BatchEngine
 from ..engine.scheduler import EgressScheduler
 from ..errors import LinkDownError, TopologyError
+from ..net.packet import Packet
 # One ``(switch, port)`` reference type serves both roles: a traffic
 # matrix's attachment point and a link endpoint. Defined once in the
 # traffic layer (which must not depend on the fabric) and aliased here
@@ -98,6 +99,9 @@ class FabricSwitch:
             line_rate_bps=host_rate_bps)
         #: port index -> attached fabric link (absent = host port)
         self.links: Dict[int, Link] = {}
+        #: False while crashed (:meth:`Fabric.crash_switch`): the
+        #: member forwards nothing and its links are down.
+        self.up: bool = True
 
     @property
     def scheduler(self) -> EgressScheduler:
@@ -220,10 +224,66 @@ class Fabric:
         raise TopologyError(f"no link between {a!r} and {b!r}")
 
     def set_link_state(self, a: str, b: str, up: bool) -> Link:
-        """Administratively raise or fail the link between two switches."""
+        """Administratively raise or fail the link between two switches.
+
+        Routing recomputes from live link state on every call
+        (:meth:`shortest_paths` / :meth:`next_hop_port` hold no route
+        cache), so a restored link is immediately usable by the next
+        placement or migration. Raising a link whose endpoint switch is
+        crashed is refused — :meth:`restore_switch` is the only way a
+        dead switch's links come back.
+        """
         link = self.link_between(a, b)
+        if up:
+            for name in (a, b):
+                if not self.switch(name).up:
+                    raise TopologyError(
+                        f"cannot raise link {link.name}: switch "
+                        f"{name!r} is crashed — restore_switch() it "
+                        f"first")
         link.up = up
         return link
+
+    def crash_switch(self, name: str) -> List[Tuple[int, int, Packet]]:
+        """Crash one switch: mark it down, fail every attached link,
+        and scrub its egress queues.
+
+        A crashed switch forwards nothing and reboots with empty
+        buffers, so the queued packets die with it — they are returned
+        as ``(port, vid, packet)`` triples (the
+        :meth:`~repro.engine.scheduler.EgressScheduler.drop_queued`
+        shape) for the caller to account as losses
+        (:meth:`repro.exec.ExecutionCore.report_fault_losses` routes
+        them onto the unified lost-record path). Crashing a switch
+        that is already down is a no-op returning ``[]``, so
+        crash→restore→crash is idempotent on fabric state.
+        """
+        member = self.switch(name)
+        if not member.up:
+            return []
+        member.up = False
+        for port in sorted(member.links):
+            member.links[port].up = False
+        return member.scheduler.drop_queued()
+
+    def restore_switch(self, name: str) -> FabricSwitch:
+        """Restore a crashed switch: mark it up and raise every
+        attached link whose far end is also up.
+
+        A link toward a still-crashed neighbor stays down until that
+        neighbor restores. Module placements and egress configuration
+        survive the reboot (they are control-plane state the controller
+        re-pushes); the data-plane queues were scrubbed at crash time,
+        so a restored switch cannot emit ghost departures for packets
+        that died in the crash. Idempotent on an up switch.
+        """
+        member = self.switch(name)
+        member.up = True
+        for port in sorted(member.links):
+            link = member.links[port]
+            if self.switch(link.other_end(name).switch).up:
+                link.up = True
+        return member
 
     # -- routing ---------------------------------------------------------------
 

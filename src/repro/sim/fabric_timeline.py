@@ -94,6 +94,9 @@ class FabricTimelineResult:
     #: (vid, link name) -> packets lost there — the typed breakdown
     #: behind :meth:`lost_records`
     lost_by_link: Dict[Tuple[int, str], int] = field(default_factory=dict)
+    #: every loss as a timestamped ``(time, vid, link)`` entry, in
+    #: event order — what a chaos post-mortem attributes to faults
+    loss_log: List[Tuple[float, int, str]] = field(default_factory=list)
     #: link name -> (bytes carried, utilization over the run)
     link_utilization: Dict[str, Tuple[int, float]] = \
         field(default_factory=dict)
@@ -146,6 +149,7 @@ class _TimelineSink(ExecutionSink):
         self.drops: Dict[int, int] = {}
         self.lost: Dict[int, int] = {}
         self.lost_by_link: Dict[Tuple[int, str], int] = {}
+        self.loss_log: List[Tuple[float, int, str]] = []
 
     def on_deliver(self, member: str, port: int, vid: int,
                    packet: Packet, time: float) -> None:
@@ -165,6 +169,7 @@ class _TimelineSink(ExecutionSink):
         self.lost[vid] = self.lost.get(vid, 0) + 1
         self.lost_by_link[(vid, link)] = \
             self.lost_by_link.get((vid, link), 0) + 1
+        self.loss_log.append((time, vid, link))
 
 
 class FabricTimelineExperiment:
@@ -179,6 +184,10 @@ class FabricTimelineExperiment:
         self.bin_s = bin_s if bin_s is not None else duration_s / 10
         self.scale = scale
         self.reconfigs: List[FabricReconfigEvent] = []
+        #: the live :class:`~repro.exec.ExecutionCore` while (and
+        #: after) :meth:`run` — the chaos layer reports crash-scrubbed
+        #: queue contents through it, onto the same lost path.
+        self.core: Optional[ExecutionCore] = None
 
     # ------------------------------------------------------------------ churn
 
@@ -206,6 +215,22 @@ class FabricTimelineExperiment:
         for event in schedule.sorted_events():
             self.schedule_reconfig(
                 event.vid, event.time_s, event.duration_s,
+                apply=lambda ev=event: apply(ev))
+
+    def schedule_chaos(self, schedule,
+                       apply: Callable[[object], None]) -> None:
+        """Bind a :class:`repro.chaos.ChaosSchedule` to this run.
+
+        ``apply`` receives each :class:`repro.chaos.ChaosEvent` at its
+        virtual time and performs the fault or repair —
+        :meth:`repro.chaos.ChaosController.fire` is the canonical
+        apply. Chaos events ride the reconfiguration machinery under
+        the system VID 0, which no tenant owns, so firing one never
+        opens a §4.1 drop window.
+        """
+        for event in schedule.sorted_events():
+            self.schedule_reconfig(
+                0, event.time_s, 0.0,
                 apply=lambda ev=event: apply(ev))
 
     def _open_window(self, event: FabricReconfigEvent) -> None:
@@ -246,6 +271,7 @@ class FabricTimelineExperiment:
         sim = Simulator()
         sink = _TimelineSink(self.scale)
         core = ExecutionCore.for_fabric(fabric, sink=sink, sim=sim)
+        self.core = core
 
         def arrival(demand: Demand, t: float) -> None:
             packet = demand.make_packet()
@@ -295,7 +321,7 @@ class FabricTimelineExperiment:
                           in self.matrix.offered_bps_by_vid().items()},
             latencies_s=sink.latencies, delivered=sink.delivered,
             drops=sink.drops, lost=sink.lost,
-            lost_by_link=sink.lost_by_link,
+            lost_by_link=sink.lost_by_link, loss_log=sink.loss_log,
             link_utilization={link.name: (link.bytes_carried,
                                           link.utilization(elapsed))
                               for link in fabric.links()})
