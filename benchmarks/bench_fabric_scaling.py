@@ -1,0 +1,220 @@
+"""Near-linear core scaling of the sharded parallel backend.
+
+The tentpole gate for :mod:`repro.exec.parallel`: a leaf-spine fabric
+under a full-length timeline run, executed once on the serial oracle
+and once sharded across worker processes, must produce **identical
+results** (per-tenant deliveries, drops, loss records, per-switch
+pipeline counters) while the wall clock drops near-linearly with
+cores.
+
+Two configurations, picked by core count (or forced with
+``REPRO_BENCH_SCALING_FULL=1``):
+
+* **full** (>= 4 cores) — the paper-scale claim: 32 switches
+  (24 leaves / 8 spines, enlarged CAM/VLIW/overlay depths), 1000
+  tenants spread over every leaf pair and pinned round-robin across
+  the spines, >= 1e6 packets over a 1-second timeline, serial vs.
+  4+ workers. Gate: **speedup >= 3x** with bit-identical results.
+* **smoke** (fewer cores, and the CI gate) — 6 switches, 24 tenants,
+  ~24k packets, 2 workers. The parity gate is identical; the speedup
+  is recorded (and only gated above 1x when a second core exists —
+  on one core the extra processes just take turns).
+
+Every knob is env-overridable (``REPRO_BENCH_SCALING_LEAVES`` /
+``_SPINES`` / ``_TENANTS`` / ``_PACKETS`` / ``_WORKERS``) so bigger
+machines can probe the scaling curve without editing the bench.
+
+Round economics: lookahead = the 1 ms link propagation delay, so the
+1-second full run costs ~1000 conservative-sync rounds — the barrier
+overhead the speedup gate absorbs.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from dataclasses import replace
+
+from conftest import report
+from repro.api import Switch
+from repro.fabric import Fabric, leaf_spine
+from repro.modules import calc
+from repro.rmt.params import DEFAULT_PARAMS
+from repro.sim import FabricTimelineExperiment
+from repro.traffic import TrafficMatrix
+
+CORES = os.cpu_count() or 1
+FULL = os.environ.get("REPRO_BENCH_SCALING_FULL", "") == "1" \
+    or CORES >= 4
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(f"REPRO_BENCH_SCALING_{name}", default))
+
+
+if FULL:
+    LEAVES = _env_int("LEAVES", 24)
+    SPINES = _env_int("SPINES", 8)
+    TENANTS = _env_int("TENANTS", 1000)
+    PACKETS = _env_int("PACKETS", 1_000_000)
+    WORKERS = _env_int("WORKERS", max(4, min(CORES, 8)))
+    SPEEDUP_GATE = 3.0
+else:
+    LEAVES = _env_int("LEAVES", 4)
+    SPINES = _env_int("SPINES", 2)
+    TENANTS = _env_int("TENANTS", 24)
+    PACKETS = _env_int("PACKETS", 24_000)
+    WORKERS = _env_int("WORKERS", 2)
+    SPEEDUP_GATE = 1.0 if CORES >= 2 else None
+
+HOSTS_PER_LEAF = 4
+PACKET_SIZE = 300
+DURATION_S = 1.0
+LINK_DELAY_S = 1e-3        #: the conservative-sync lookahead
+LINK_RATE_BPS = 100e9
+
+
+def _make_packet(vid: int):
+    return calc.make_packet(vid, calc.OP_ADD, vid, 1,
+                            pad_to=PACKET_SIZE)
+
+
+def _next_pow2(n: int) -> int:
+    depth = 1
+    while depth < n:
+        depth *= 2
+    return depth
+
+
+def _builder():
+    """Member switches sized for TENANTS concurrent modules.
+
+    The overlay depth must cover the VID *namespace* (module tables
+    are VID-indexed), while CAM/VLIW depths scale with the busiest
+    switch's *hosted* module count — ~``2 * TENANTS / LEAVES`` on a
+    leaf, ``TENANTS / SPINES`` on a spine, at 3 entries per calc
+    module — instead of the Table-5 defaults (32 modules / 16
+    entries)."""
+    overlay = _next_pow2(TENANTS + 1)
+    hosted = max(2 * TENANTS // LEAVES, TENANTS // SPINES) + 4
+    entries = _next_pow2(3 * hosted)
+    params = replace(DEFAULT_PARAMS,
+                     match_entries_per_stage=entries,
+                     vliw_entries_per_stage=entries)
+    return Switch.build().params(params).max_modules(overlay)
+
+
+def _build() -> tuple:
+    fabric = leaf_spine(leaves=LEAVES, spines=SPINES,
+                        hosts_per_leaf=HOSTS_PER_LEAF,
+                        link_capacity_bps=LINK_RATE_BPS,
+                        link_delay_s=LINK_DELAY_S,
+                        make_builder=_builder)
+    matrix = TrafficMatrix()
+    pps = PACKETS / TENANTS / DURATION_S
+    offered_bps = pps * (PACKET_SIZE + 24) * 8
+    for i in range(TENANTS):
+        vid = i + 1
+        src_leaf = i % LEAVES
+        dst_leaf = (i + 1 + i // LEAVES) % LEAVES
+        if dst_leaf == src_leaf:
+            dst_leaf = (dst_leaf + 1) % LEAVES
+        spine = i % SPINES
+        tenant = fabric.tenant(f"t{vid}", calc.P4_SOURCE, vid=vid,
+                               installer=calc.install)
+        tenant.place((f"leaf{src_leaf}", i % HOSTS_PER_LEAF),
+                     (f"leaf{dst_leaf}", i % HOSTS_PER_LEAF),
+                     via=[f"spine{spine}"])
+        matrix.add(vid, (f"leaf{src_leaf}", i % HOSTS_PER_LEAF),
+                   (f"leaf{dst_leaf}", i % HOSTS_PER_LEAF),
+                   offered_bps=offered_bps, packet_size=PACKET_SIZE,
+                   make_packet=functools.partial(_make_packet, vid))
+    return fabric, matrix
+
+
+def _run(backend: str, workers=None):
+    fabric, matrix = _build()
+    experiment = FabricTimelineExperiment(
+        fabric, matrix, duration_s=DURATION_S, backend=backend,
+        workers=workers)
+    start = time.perf_counter()
+    result = experiment.run()
+    wall_s = time.perf_counter() - start
+    return result, fabric, wall_s
+
+
+def test_parallel_backend_scales_and_stays_bit_identical():
+    serial, fabric_s, serial_s = _run("serial")
+    packets = sum(serial.delivered.values()) \
+        + sum(serial.drops.values()) + sum(serial.lost.values())
+
+    rows = [{"backend": "serial", "workers": 1, "switches":
+             LEAVES + SPINES, "tenants": TENANTS, "packets": packets,
+             "wall_s": round(serial_s, 3), "speedup": 1.0,
+             "identical": "(oracle)"}]
+
+    parallel, fabric_p, parallel_s = _run("process", workers=WORKERS)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+
+    identical = (
+        parallel.delivered == serial.delivered
+        and parallel.drops == serial.drops
+        and parallel.lost == serial.lost
+        and parallel.lost_records() == serial.lost_records()
+        and parallel.throughput_gbps == serial.throughput_gbps
+        and fabric_p.stats() == fabric_s.stats()
+        and all(fabric_p.tenant_counters(v + 1)
+                == fabric_s.tenant_counters(v + 1)
+                for v in range(TENANTS)))
+    rows.append({"backend": "process", "workers": WORKERS,
+                 "switches": LEAVES + SPINES, "tenants": TENANTS,
+                 "packets": packets,
+                 "wall_s": round(parallel_s, 3),
+                 "speedup": round(speedup, 2),
+                 "identical": identical})
+
+    report("fabric_scaling",
+           f"Sharded parallel backend: {LEAVES + SPINES}-switch "
+           f"leaf-spine, {TENANTS} tenants "
+           f"({'full' if FULL else 'smoke'}, {CORES} cores)",
+           rows,
+           headline={"mode": "full" if FULL else "smoke",
+                     "workers": WORKERS, "packets": packets,
+                     "serial_s": round(serial_s, 3),
+                     "parallel_s": round(parallel_s, 3),
+                     "speedup": round(speedup, 2),
+                     "identical": identical})
+
+    assert packets >= PACKETS * 0.9, \
+        f"offered schedule too small: {packets} < {PACKETS}"
+    assert identical, "parallel run diverged from the serial oracle"
+    if SPEEDUP_GATE is not None:
+        assert speedup >= SPEEDUP_GATE, \
+            f"speedup {speedup:.2f}x below the {SPEEDUP_GATE}x gate " \
+            f"({WORKERS} workers on {CORES} cores)"
+
+
+def test_worker_count_clamps_to_fabric_size():
+    """More workers than switches degrades to one switch per worker —
+    no idle shards, still identical."""
+    fabric = leaf_spine(leaves=2, spines=1, link_delay_s=LINK_DELAY_S)
+    tenant = fabric.tenant("t1", calc.P4_SOURCE, vid=1,
+                           installer=calc.install)
+    tenant.place(("leaf0", 0), ("leaf1", 0))
+    matrix = TrafficMatrix()
+    matrix.add(1, ("leaf0", 0), ("leaf1", 0), offered_bps=1e8,
+               packet_size=PACKET_SIZE,
+               make_packet=functools.partial(_make_packet, 1))
+    serial = FabricTimelineExperiment(
+        fabric, matrix, duration_s=5e-3).run()
+
+    fabric2 = leaf_spine(leaves=2, spines=1, link_delay_s=LINK_DELAY_S)
+    tenant = fabric2.tenant("t1", calc.P4_SOURCE, vid=1,
+                            installer=calc.install)
+    tenant.place(("leaf0", 0), ("leaf1", 0))
+    parallel = FabricTimelineExperiment(
+        fabric2, matrix, duration_s=5e-3, backend="process",
+        workers=64).run()
+    assert parallel.delivered == serial.delivered
+    assert parallel.drops == serial.drops

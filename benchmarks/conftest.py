@@ -8,20 +8,44 @@ persisted as machine-readable ``benchmarks/results/<name>.json``
 (``{"title": ..., "rows": [...]}``) so downstream tooling — regression
 dashboards, the engine-throughput gate — can consume results without
 screen-scraping the table.
+
+Every gate also lands one line in ``benchmarks/results/
+BENCH_SUMMARY.json``: its title, row count, and — when the bench
+passes ``headline={...}`` — the handful of numbers that summarize it
+(a speedup, a throughput, a compile time). The summary is
+read-modify-write, so running any subset of benches updates only
+those entries and a full run converges to the complete dashboard.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SUMMARY = RESULTS_DIR / "BENCH_SUMMARY.json"
+
+
+def _record_summary(name: str, title: str, rows: List[Dict],
+                    headline: Optional[Dict]) -> None:
+    try:
+        summary = json.loads(SUMMARY.read_text())
+    except (OSError, ValueError):
+        summary = {}
+    summary[name] = {"title": title, "rows": len(rows),
+                     "headline": headline or {}}
+    SUMMARY.write_text(
+        json.dumps(summary, indent=2, sort_keys=True, default=str)
+        + "\n")
 
 
 def report(name: str, title: str, rows: List[Dict],
-           columns: Sequence[str] = None) -> None:
-    """Print a labeled table; persist .txt and .json artifacts."""
+           columns: Sequence[str] = None,
+           headline: Optional[Dict] = None) -> None:
+    """Print a labeled table; persist .txt and .json artifacts, and
+    fold ``headline`` (this gate's key metrics) into the cross-bench
+    ``BENCH_SUMMARY.json``."""
     if not rows:
         lines = [f"== {title} ==", "(no rows)"]
     else:
@@ -40,5 +64,8 @@ def report(name: str, title: str, rows: List[Dict],
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     (RESULTS_DIR / f"{name}.json").write_text(
-        json.dumps({"title": title, "rows": rows}, indent=2, default=str)
+        json.dumps({"title": title, "rows": rows,
+                    "headline": headline or {}},
+                   indent=2, default=str)
         + "\n")
+    _record_summary(name, title, rows, headline)

@@ -45,7 +45,15 @@ from ..chaos import (
     ReplacedTenant,
 )
 from ..engine import BatchEngine, EgressScheduler, EngineCounters
-from ..exec import ExecutionCore, ExecutionSink, LostRecord
+from ..errors import ParallelExecError
+from ..exec import (
+    EXEC_BACKENDS,
+    ExecutionCore,
+    ExecutionSink,
+    LinkStateOp,
+    LostRecord,
+    TenantUpdateOp,
+)
 from ..rmt.entry_types import ActionCall, Exact, Match, TableEntry, Ternary
 from .diagnostics import CompileResult, Diagnostic, StageUsage, compile
 from .switch import (
@@ -95,6 +103,11 @@ __all__ = [
     "ExecutionCore",
     "ExecutionSink",
     "LostRecord",
+    # sharded parallel execution backend
+    "EXEC_BACKENDS",
+    "TenantUpdateOp",
+    "LinkStateOp",
+    "ParallelExecError",
     # chaos & recovery
     "ChaosEvent",
     "ChaosSchedule",

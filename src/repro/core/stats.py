@@ -5,34 +5,146 @@ statistics (e.g., link utilization, queue length)" to tenant modules;
 this class is where those numbers live in the simulation. The static
 checker forbids modules from *writing* them (§3.4) — in the model they
 are simply not reachable from the data path.
+
+``PipelineStats`` is a dataclass on purpose: every aggregation the
+multi-switch layers need — fabric-wide sums (:meth:`merge_from`),
+parallel-worker result frames (:meth:`delta_since` /
+:meth:`assign_from`) — is **introspected from the dataclass fields**
+by the generic helpers below, so adding a counter can never silently
+drop it from a merge. A field whose type the helpers cannot merge
+raises ``TypeError`` at merge time instead of being skipped
+(``tests/test_parallel.py`` locks this in).
 """
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 from collections import defaultdict
+from dataclasses import dataclass, field
 from typing import Dict, Iterable
 
 
+def _int_dict() -> Dict:
+    return defaultdict(int)
+
+
+# -- generic, introspected counter algebra -----------------------------------
+#
+# Shared by ``PipelineStats`` and ``repro.engine.batch.EngineCounters``:
+# any counter dataclass whose fields are numbers, dicts of numbers, or
+# dicts of further counter dataclasses can be merged (add), diffed
+# (worker delta frames), and overwritten in place (snapshot restore)
+# without enumerating a single field by hand.
+
+
+def _unmergeable(obj, name: str) -> TypeError:
+    return TypeError(
+        f"counter field {type(obj).__name__}.{name} holds "
+        f"{type(getattr(obj, name)).__name__}, which the introspected "
+        f"counter algebra cannot merge — extend repro.core.stats or "
+        f"use a number / dict-of-numbers / dict-of-counter-dataclass")
+
+
+def merge_counters(dst, src) -> None:
+    """Add ``src``'s counters into ``dst``, field by introspected field.
+
+    Numbers add; dict values add per key (nested counter dataclasses
+    recurse, created on first sight). Unknown field types raise —
+    never skip — so a newly added counter cannot be dropped silently.
+    """
+    for f in dataclasses.fields(src):
+        value = getattr(src, f.name)
+        if isinstance(value, bool) or not isinstance(
+                value, (int, float, dict)):
+            raise _unmergeable(src, f.name)
+        if isinstance(value, dict):
+            mine = getattr(dst, f.name)
+            for key, item in value.items():
+                if dataclasses.is_dataclass(item):
+                    into = mine.get(key)
+                    if into is None:
+                        into = mine[key] = type(item)()
+                    merge_counters(into, item)
+                elif isinstance(item, bool) or not isinstance(
+                        item, (int, float)):
+                    raise _unmergeable(src, f.name)
+                else:
+                    mine[key] = mine.get(key, 0) + item
+        else:
+            setattr(dst, f.name, getattr(dst, f.name) + value)
+
+
+def diff_counters(current, baseline):
+    """A fresh instance holding ``current - baseline`` per field.
+
+    The worker-frame primitive of the parallel backend: a worker
+    snapshots its counters at start, runs, and ships the delta; the
+    parent then :func:`merge_counters` the delta into its own objects.
+    Keys present in ``current`` stay present (even at delta 0) so the
+    merged parent ends with exactly the key set a serial run creates.
+    """
+    out = type(current)()
+    for f in dataclasses.fields(current):
+        value = getattr(current, f.name)
+        if isinstance(value, bool) or not isinstance(
+                value, (int, float, dict)):
+            raise _unmergeable(current, f.name)
+        if isinstance(value, dict):
+            base = getattr(baseline, f.name)
+            mine = getattr(out, f.name)
+            for key, item in value.items():
+                if dataclasses.is_dataclass(item):
+                    mine[key] = diff_counters(
+                        item, base.get(key, type(item)()))
+                elif isinstance(item, bool) or not isinstance(
+                        item, (int, float)):
+                    raise _unmergeable(current, f.name)
+                else:
+                    mine[key] = item - base.get(key, 0)
+        else:
+            setattr(out, f.name, value - getattr(baseline, f.name))
+    return out
+
+
+def assign_counters(dst, src) -> None:
+    """Overwrite ``dst``'s fields with deep copies of ``src``'s.
+
+    In place — object identity is preserved, which matters because
+    live references exist (an ``EgressScheduler`` holds the very
+    ``PipelineStats`` it feeds). Used to restore a snapshot after the
+    parent replays declarative lifecycle ops post-run.
+    """
+    for f in dataclasses.fields(src):
+        value = getattr(src, f.name)
+        if isinstance(value, dict):
+            mine = getattr(dst, f.name)
+            mine.clear()
+            mine.update(copy.deepcopy(value))
+        else:
+            setattr(dst, f.name, value)
+
+
+@dataclass
 class PipelineStats:
     """Counters for a Menshen pipeline."""
 
-    def __init__(self) -> None:
-        self.packets_in = 0
-        self.packets_out = 0
-        self.packets_dropped = 0
-        self.reconfig_packets = 0
-        self.per_module_in: Dict[int, int] = defaultdict(int)
-        self.per_module_out: Dict[int, int] = defaultdict(int)
-        self.per_module_dropped: Dict[int, int] = defaultdict(int)
-        self.per_module_bytes_out: Dict[int, int] = defaultdict(int)
-        self.drop_reasons: Dict[str, int] = defaultdict(int)
-        #: Egress-scheduler telemetry (fed by
-        #: :class:`repro.engine.scheduler.EgressScheduler` when one is
-        #: installed): per-tenant bytes actually transmitted on the
-        #: output links, and a live queue-depth gauge — the §3.3
-        #: "queue length" statistic, now per tenant.
-        self.egress_bytes_tx: Dict[int, int] = defaultdict(int)
-        self.egress_queue_depth: Dict[int, int] = defaultdict(int)
+    packets_in: int = 0
+    packets_out: int = 0
+    packets_dropped: int = 0
+    reconfig_packets: int = 0
+    per_module_in: Dict[int, int] = field(default_factory=_int_dict)
+    per_module_out: Dict[int, int] = field(default_factory=_int_dict)
+    per_module_dropped: Dict[int, int] = field(default_factory=_int_dict)
+    per_module_bytes_out: Dict[int, int] = field(default_factory=_int_dict)
+    drop_reasons: Dict[str, int] = field(default_factory=_int_dict)
+    #: Egress-scheduler telemetry (fed by
+    #: :class:`repro.engine.scheduler.EgressScheduler` when one is
+    #: installed): per-tenant bytes actually transmitted on the
+    #: output links, and a live queue-depth gauge — the §3.3
+    #: "queue length" statistic, now per tenant.
+    egress_bytes_tx: Dict[int, int] = field(default_factory=_int_dict)
+    egress_queue_depth: Dict[int, int] = field(default_factory=_int_dict)
 
     def record_in(self, module_id: int) -> None:
         self.packets_in += 1
@@ -79,24 +191,26 @@ class PipelineStats:
         """Accumulate another pipeline's counters into this one.
 
         Used by the fabric layer to present fabric-wide per-tenant
-        counters: each member switch keeps its own ``PipelineStats``,
-        and a fabric-level view is the sum. Counters add; the
-        queue-depth gauge also adds (total packets of the tenant queued
-        anywhere in the fabric)."""
-        self.packets_in += other.packets_in
-        self.packets_out += other.packets_out
-        self.packets_dropped += other.packets_dropped
-        self.reconfig_packets += other.reconfig_packets
-        for src, dst in (
-                (other.per_module_in, self.per_module_in),
-                (other.per_module_out, self.per_module_out),
-                (other.per_module_dropped, self.per_module_dropped),
-                (other.per_module_bytes_out, self.per_module_bytes_out),
-                (other.drop_reasons, self.drop_reasons),
-                (other.egress_bytes_tx, self.egress_bytes_tx),
-                (other.egress_queue_depth, self.egress_queue_depth)):
-            for key, value in src.items():
-                dst[key] += value
+        counters, and by the parallel backend to fold worker delta
+        frames back into the parent's switches. Counters add; the
+        queue-depth gauge also adds (total packets of the tenant
+        queued anywhere in the fabric). Introspected from the
+        dataclass fields — a new counter is merged automatically or
+        raises, never skipped."""
+        merge_counters(self, other)
+
+    def snapshot(self) -> "PipelineStats":
+        """An independent deep copy (a worker's start-of-run baseline)."""
+        return copy.deepcopy(self)
+
+    def delta_since(self, baseline: "PipelineStats") -> "PipelineStats":
+        """A fresh ``PipelineStats`` holding ``self - baseline`` — the
+        typed per-switch result frame a parallel worker ships home."""
+        return diff_counters(self, baseline)
+
+    def assign_from(self, other: "PipelineStats") -> None:
+        """Overwrite this object's counters in place (snapshot restore)."""
+        assign_counters(self, other)
 
     @classmethod
     def aggregate(cls, many: Iterable["PipelineStats"]) -> "PipelineStats":

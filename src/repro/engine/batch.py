@@ -83,12 +83,14 @@ guaranteed.
 
 from __future__ import annotations
 
+import copy
 import os
 import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..core.pipeline import MenshenPipeline
+from ..core.stats import assign_counters, diff_counters, merge_counters
 from ..net.packet import Packet
 from ..rmt.pipeline import PipelineResult
 from .classifier import (
@@ -175,6 +177,12 @@ class EngineCounters:
     hot-path level that produced its result; ``classifier_fallbacks``
     histograms (by reason) the packets the classifier handed back to the
     scalar pipeline.
+
+    Aggregation (:meth:`merge_from` / :meth:`delta_since` /
+    :meth:`assign_from`) is introspected from the dataclass fields by
+    :mod:`repro.core.stats`'s generic counter algebra — used by the
+    parallel execution backend's per-switch result frames, and
+    guaranteed by construction never to drop a newly added counter.
     """
 
     batches: int = 0
@@ -202,6 +210,24 @@ class EngineCounters:
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    def merge_from(self, other: "EngineCounters") -> None:
+        """Add another engine's counters into this one (introspected;
+        per-tenant sub-counters merge recursively)."""
+        merge_counters(self, other)
+
+    def snapshot(self) -> "EngineCounters":
+        """An independent deep copy (a worker's start-of-run baseline)."""
+        return copy.deepcopy(self)
+
+    def delta_since(self, baseline: "EngineCounters") -> "EngineCounters":
+        """A fresh ``EngineCounters`` holding ``self - baseline`` — the
+        engine slice of a parallel worker's result frame."""
+        return diff_counters(self, baseline)
+
+    def assign_from(self, other: "EngineCounters") -> None:
+        """Overwrite this object's counters in place (snapshot restore)."""
+        assign_counters(self, other)
 
 
 class _ModuleLayout:

@@ -15,9 +15,23 @@ frontends are result shaping over an :class:`ExecutionSink`.
 :class:`~repro.exec.records.LostRecord` is the shared typed currency
 for link-down losses, so the untimed and timed paths report dropped
 traffic in one comparable shape.
+
+:mod:`repro.exec.parallel` shards either policy across worker
+processes — one worker per switch, conservative time-sync on the
+timeline path — selected per call (``backend="process"``) or via
+``REPRO_EXEC_BACKEND``.
 """
 
 from .core import ExecutionCore, ExecutionSink, SwitchMember, vid_of
+from .parallel import (
+    EXEC_BACKENDS,
+    FabricOp,
+    LinkStateOp,
+    TenantUpdateOp,
+    default_backend,
+    default_workers,
+    resolve_backend,
+)
 from .records import LostRecord, summarize_lost
 
 __all__ = [
@@ -27,4 +41,11 @@ __all__ = [
     "vid_of",
     "LostRecord",
     "summarize_lost",
+    "EXEC_BACKENDS",
+    "FabricOp",
+    "TenantUpdateOp",
+    "LinkStateOp",
+    "default_backend",
+    "default_workers",
+    "resolve_backend",
 ]

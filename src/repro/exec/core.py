@@ -121,7 +121,7 @@ class ExecutionCore:
     """
 
     def __init__(self, members: Sequence, sink: Optional[ExecutionSink] = None,
-                 sim=None, member_lookup=None):
+                 sim=None, member_lookup=None, remote_handler=None):
         self._members = list(members)
         self._by_name = {member.name: member for member in self._members}
         #: optional typed-error lookup (``Fabric.switch`` raises
@@ -130,6 +130,12 @@ class ExecutionCore:
         self._lookup = member_lookup
         self.sink = sink if sink is not None else ExecutionSink()
         self.sim = sim
+        #: Shard hook for the parallel backend
+        #: (:mod:`repro.exec.parallel`): a core holding only part of a
+        #: fabric hands departures toward non-local members to
+        #: ``remote_handler(member_name, packet, arrive_at)`` instead
+        #: of scheduling a local inject.
+        self._remote = remote_handler
         #: earliest pending service event per (member, port) — dedupe
         #: so the event queue stays linear in departures, not scans.
         self._pending: Dict[Tuple[str, int], float] = {}
@@ -335,6 +341,9 @@ class ExecutionCore:
             if target is None:
                 continue
             name, packet, arrive_at = target
+            if self._remote is not None and name not in self._by_name:
+                self._remote(name, packet, arrive_at)
+                continue
             if self.sim is None:
                 raise FabricError(
                     f"packet crossed a link toward {name!r} but this "

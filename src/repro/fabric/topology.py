@@ -367,6 +367,16 @@ class Fabric:
     def tenants(self) -> List["FabricTenant"]:
         return list(self._tenants.values())
 
+    def tenant_by_vid(self, vid: int) -> "FabricTenant":
+        """The fabric tenant owning ``vid`` — the lookup the parallel
+        backend's declarative ops (:class:`repro.exec.parallel.
+        TenantUpdateOp`) resolve against when the parent replays them
+        after a process-backend run."""
+        tenant = self._tenants.get(vid)
+        if tenant is None:
+            raise TopologyError(f"no fabric tenant with VID {vid}")
+        return tenant
+
     def _release_tenant(self, vid: int) -> None:
         """Return a VID to the fabric pool (FabricTenant.unload calls
         this after evicting every per-switch instance)."""
@@ -394,11 +404,14 @@ class Fabric:
 
     # -- data plane --------------------------------------------------------------
 
-    def process_batch(self, arrivals, max_hops: Optional[int] = None):
+    def process_batch(self, arrivals, max_hops: Optional[int] = None,
+                      backend: Optional[str] = None,
+                      workers: Optional[int] = None):
         """Batched multi-hop forwarding; see
         :func:`repro.fabric.forwarding.process_batch`."""
         from .forwarding import process_batch
-        return process_batch(self, arrivals, max_hops=max_hops)
+        return process_batch(self, arrivals, max_hops=max_hops,
+                             backend=backend, workers=workers)
 
 
 def leaf_spine(leaves: int = 2, spines: int = 1,

@@ -69,7 +69,14 @@ class FabricReconfigEvent:
     duration_s: float
     #: Optional callable performing the actual lifecycle action
     #: (update/migrate/unload/placement); invoked once at start.
+    #: Serial-backend only — an opaque callable cannot cross a process
+    #: boundary.
     apply: Optional[Callable[[], None]] = None
+    #: Optional declarative lifecycle action
+    #: (:class:`repro.exec.parallel.FabricOp`) — works on *both*
+    #: backends: applied via ``apply_serial`` here, shipped to workers
+    #: on the process backend. Mutually exclusive with ``apply``.
+    op: Optional[object] = None
 
 
 @dataclass
@@ -177,12 +184,19 @@ class FabricTimelineExperiment:
 
     def __init__(self, fabric, matrix: TrafficMatrix,
                  duration_s: float = 0.01, bin_s: Optional[float] = None,
-                 scale: float = 1.0):
+                 scale: float = 1.0, backend: Optional[str] = None,
+                 workers: Optional[int] = None):
         self.fabric = fabric
         self.matrix = matrix
         self.duration_s = duration_s
         self.bin_s = bin_s if bin_s is not None else duration_s / 10
         self.scale = scale
+        #: execution backend (default: ``REPRO_EXEC_BACKEND``, else
+        #: serial); ``"process"`` shards the run one worker per switch
+        #: with conservative time-sync —
+        #: :func:`repro.exec.parallel.run_fabric_timeline`.
+        self.backend = backend
+        self.workers = workers
         self.reconfigs: List[FabricReconfigEvent] = []
         #: the live :class:`~repro.exec.ExecutionCore` while (and
         #: after) :meth:`run` — the chaos layer reports crash-scrubbed
@@ -193,12 +207,22 @@ class FabricTimelineExperiment:
 
     def schedule_reconfig(self, vid: int, start_s: float,
                           duration_s: float = 0.0,
-                          apply: Optional[Callable[[], None]] = None
-                          ) -> FabricReconfigEvent:
+                          apply: Optional[Callable[[], None]] = None,
+                          op=None) -> FabricReconfigEvent:
         """Fire a tenant-lifecycle action at ``start_s`` into the run,
-        holding the tenant's §4.1 drop window for ``duration_s``."""
+        holding the tenant's §4.1 drop window for ``duration_s``.
+
+        Pass either ``apply`` (an opaque callable — serial backend
+        only) or ``op`` (a declarative
+        :class:`repro.exec.parallel.FabricOp`, which also works on the
+        process backend), not both."""
+        if apply is not None and op is not None:
+            raise ValueError(
+                "pass either apply= (opaque callable) or op= "
+                "(declarative FabricOp), not both")
         event = FabricReconfigEvent(vid=vid, start_s=start_s,
-                                    duration_s=duration_s, apply=apply)
+                                    duration_s=duration_s, apply=apply,
+                                    op=op)
         self.reconfigs.append(event)
         return event
 
@@ -239,6 +263,8 @@ class FabricTimelineExperiment:
         holds the window on its *new* route too)."""
         if event.apply is not None:
             event.apply()
+        if event.op is not None:
+            event.op.apply_serial(self.fabric)
         if event.duration_s <= 0:
             return
         for member in self.fabric.switches():
@@ -267,6 +293,13 @@ class FabricTimelineExperiment:
     # ------------------------------------------------------------------ run
 
     def run(self) -> FabricTimelineResult:
+        from ..exec.parallel import resolve_backend, run_fabric_timeline
+
+        if resolve_backend(self.backend) == "process":
+            # The sharded conservative-sync backend; bit-identical
+            # counters, deliveries, and loss records (the chaos layer's
+            # post-run ``self.core`` hook stays serial-only).
+            return run_fabric_timeline(self, workers=self.workers)
         fabric = self.fabric
         sim = Simulator()
         sink = _TimelineSink(self.scale)

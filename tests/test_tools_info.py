@@ -82,6 +82,24 @@ def test_json_analysis_section(capsys):
     assert certifier["env_var"] == "REPRO_ENGINE_CERTIFY"
 
 
+def test_json_exec_section(capsys):
+    """The exec section mirrors the live backend registry, so
+    downstream tooling can discover the parallel backend's knobs
+    without importing the library."""
+    from repro.exec.parallel import EXEC_BACKENDS, PARALLEL_INFO
+
+    assert main(["--json"]) == 0
+    exec_info = json.loads(capsys.readouterr().out)["exec"]
+
+    assert exec_info["backends"] == list(EXEC_BACKENDS)
+    assert exec_info["env"] == {"backend": "REPRO_EXEC_BACKEND",
+                                "workers": "REPRO_EXEC_WORKERS"}
+    assert "one worker per switch" in exec_info["worker_policy"]
+    assert "Chandy-Misra-Bryant" in exec_info["sync_algorithm"]
+    assert "propagation delay" in exec_info["lookahead_source"]
+    assert exec_info == PARALLEL_INFO
+
+
 def test_json_matches_info_dict(capsys):
     main(["--json"])
     assert json.loads(capsys.readouterr().out) == \
